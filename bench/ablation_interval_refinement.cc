@@ -1,0 +1,75 @@
+// Ablation (Section 7 future work, implemented): interval-based ranking
+// refinement. After SPR's partition, the top-k candidates' order can be
+// certified by buying *more reference judgments* until their confidence
+// intervals around mu_{o,r} separate -- no direct candidate-vs-candidate
+// comparisons needed. This bench measures how much certification a given
+// refinement budget buys, and what it does to ranking quality.
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/interval_ranking.h"
+#include "core/partition.h"
+#include "core/select_reference.h"
+#include "metrics/ranking_metrics.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(8);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble(
+      "Ablation: interval-based ranking refinement (Jester, k=10)", runs,
+      seed);
+
+  auto jester = data::MakeJesterLike(seed);
+  const int64_t k = 10;
+
+  util::TablePrinter table("certification vs refinement budget");
+  table.SetHeader({"extra budget", "certified pairs (of 9)", "Kendall tau",
+                   "refinement cost"});
+  for (int64_t budget : {0, 1000, 5000, 20000, 100000}) {
+    double certified = 0.0, tau = 0.0, cost = 0.0;
+    util::Rng seeder(seed + 1);
+    for (int64_t r = 0; r < runs; ++r) {
+      crowd::CrowdPlatform platform(jester.get(), seeder.NextUint64());
+      judgment::ComparisonCache cache(bench::DefaultComparisonOptions());
+      std::vector<crowd::ItemId> items(jester->num_items());
+      std::iota(items.begin(), items.end(), 0);
+      const crowd::ItemId reference =
+          core::SelectReference(items, k, 1.5, 100, &cache, &platform);
+      const core::PartitionResult partition = core::Partition(
+          items, k, reference, 4, &cache, &platform);
+      // Top-k candidates: winners (trimmed/filled to k with ties).
+      std::vector<crowd::ItemId> candidates = partition.winners;
+      candidates.erase(
+          std::remove(candidates.begin(), candidates.end(),
+                      partition.reference),
+          candidates.end());
+      for (crowd::ItemId o : partition.ties) {
+        if (static_cast<int64_t>(candidates.size()) >= k) break;
+        candidates.push_back(o);
+      }
+      if (static_cast<int64_t>(candidates.size()) > k) candidates.resize(k);
+      const core::IntervalRankingResult result = core::RefineByIntervals(
+          candidates, partition.reference, budget, &cache, &platform);
+      certified += static_cast<double>(result.certified_adjacent_pairs);
+      if (result.ranked.size() >= 2) {
+        tau += metrics::KendallTau(*jester, result.ranked);
+      }
+      cost += static_cast<double>(result.refinement_cost);
+    }
+    const double d = static_cast<double>(runs);
+    table.AddRow({std::to_string(budget),
+                  util::FormatDouble(certified / d, 1),
+                  util::FormatDouble(tau / d, 3),
+                  util::FormatDouble(cost / d, 0)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: certified adjacent pairs and Kendall tau rise with the\n"
+      "refinement budget; certification saturates once intervals separate\n");
+  return 0;
+}

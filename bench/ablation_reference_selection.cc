@@ -1,0 +1,63 @@
+// Ablation (Section 5.1 / problem (2)): how much to spend on selecting the
+// reference. Sweeps the selection comparison budget (fraction of N) and the
+// per-pair budget of selection comparisons (in cold-start batches).
+//
+// The design point called out in DESIGN.md: selection comparisons between
+// group maxima pit top items against each other, so giving them the full
+// per-pair budget B lets the selection phase dominate the query; one
+// cold-start batch per selection pair is enough because selection errors
+// only cost efficiency (Section 5.4).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(5);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble(
+      "Ablation: reference-selection budget (SPR on IMDb-like)", runs, seed);
+
+  auto imdb = data::MakeImdbLike(seed);
+
+  {
+    util::TablePrinter table(
+        "Selection comparison budget (fraction of N), per-pair = 1 batch");
+    table.SetHeader({"fraction", "TMC", "NDCG"});
+    for (double fraction : {0.1, 0.33, 1.0, 2.0}) {
+      core::SprOptions spr_options;
+      spr_options.comparison = bench::DefaultComparisonOptions();
+      spr_options.selection_budget_fraction = fraction;
+      core::Spr spr(spr_options);
+      const bench::Averages averages = bench::AverageRuns(
+          *imdb, &spr, bench::DefaultK(), runs, seed + 1);
+      table.AddRow({util::FormatDouble(fraction, 2),
+                    util::FormatDouble(averages.tmc, 0),
+                    util::FormatDouble(averages.ndcg, 3)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  {
+    util::TablePrinter table(
+        "Per-pair budget of selection comparisons (batches of I), "
+        "fraction = 1.0");
+    table.SetHeader({"batches", "TMC", "NDCG"});
+    for (int64_t batches : {1, 2, 4, 33}) {  // 33 batches ~ full B = 1000
+      core::SprOptions spr_options;
+      spr_options.comparison = bench::DefaultComparisonOptions();
+      spr_options.selection_budget_per_pair_batches = batches;
+      core::Spr spr(spr_options);
+      const bench::Averages averages = bench::AverageRuns(
+          *imdb, &spr, bench::DefaultK(), runs, seed + 2);
+      table.AddRow({std::to_string(batches),
+                    util::FormatDouble(averages.tmc, 0),
+                    util::FormatDouble(averages.ndcg, 3)});
+    }
+    table.Print();
+  }
+  return 0;
+}

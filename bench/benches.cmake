@@ -1,0 +1,39 @@
+# Benchmark harnesses: one binary per paper table/figure. Included from the
+# top-level CMakeLists (not add_subdirectory) so that build/bench/ contains
+# ONLY the runnable binaries and `for b in build/bench/*; do $b; done` works
+# without tripping over CMake bookkeeping files.
+
+function(crowdtopk_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE crowdtopk)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+crowdtopk_add_bench(table3_judgment_models)
+crowdtopk_add_bench(table4_reference_change)
+crowdtopk_add_bench(table7_tmc)
+crowdtopk_add_bench(table10_median_bounds)
+crowdtopk_add_bench(fig08_vary_k)
+crowdtopk_add_bench(fig09_vary_n)
+crowdtopk_add_bench(fig10_vary_confidence)
+crowdtopk_add_bench(fig11_vary_budget)
+crowdtopk_add_bench(fig12_summary)
+crowdtopk_add_bench(fig13_accuracy)
+crowdtopk_add_bench(fig14_nonconfidence)
+crowdtopk_add_bench(fig15_nb_minus_n)
+crowdtopk_add_bench(fig16_sweet_spot)
+crowdtopk_add_bench(fig17_stein_vs_student)
+crowdtopk_add_bench(fig18_21_jester_photo)
+crowdtopk_add_bench(people_age)
+crowdtopk_add_bench(ablation_batch_size)
+crowdtopk_add_bench(ablation_reference_selection)
+crowdtopk_add_bench(ablation_one_sided)
+crowdtopk_add_bench(ablation_worker_quality)
+crowdtopk_add_bench(ablation_anytime_validity)
+crowdtopk_add_bench(ablation_marketplace)
+crowdtopk_add_bench(ablation_interval_refinement)
+
+crowdtopk_add_bench(micro_stats)
+target_link_libraries(micro_stats PRIVATE benchmark::benchmark)

@@ -1,0 +1,64 @@
+// Figure 8: effect of k on TMC and query latency (IMDb, Book).
+//
+// Paper shape: SPR consistently cheapest (HeapSort slightly better only at
+// very small k); HeapSort's latency is orders of magnitude above the
+// parallel methods; QuickSelect's latency is comparable to SPR's but its
+// TMC is the highest.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/infimum.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(5);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble("Figure 8: effect of k (TMC and latency)", runs, seed);
+
+  const judgment::ComparisonOptions options =
+      bench::DefaultComparisonOptions();
+  const std::vector<int64_t> ks = {1, 5, 10, 15, 20};
+
+  for (const char* name : {"imdb", "book"}) {
+    auto dataset = data::MakeByName(name, seed);
+    util::TablePrinter tmc_table(dataset->name() + ": TMC vs k");
+    util::TablePrinter lat_table(dataset->name() + ": latency (rounds) vs k");
+    std::vector<std::string> header = {"Method"};
+    for (int64_t k : ks) header.push_back("k=" + std::to_string(k));
+    tmc_table.SetHeader(header);
+    lat_table.SetHeader(header);
+
+    auto methods = bench::ConfidenceAwareMethods(options);
+    for (auto& method : methods) {
+      std::vector<std::string> tmc_row = {method->name()};
+      std::vector<std::string> lat_row = {method->name()};
+      for (int64_t k : ks) {
+        const bench::Averages averages =
+            bench::AverageRuns(*dataset, method.get(), k, runs, seed + k);
+        tmc_row.push_back(util::FormatDouble(averages.tmc, 0));
+        lat_row.push_back(util::FormatDouble(averages.rounds, 0));
+      }
+      tmc_table.AddRow(tmc_row);
+      lat_table.AddRow(lat_row);
+    }
+    std::vector<std::string> inf_tmc = {"Infimum"};
+    std::vector<std::string> inf_lat = {"Infimum"};
+    for (int64_t k : ks) {
+      const core::InfimumEstimate inf =
+          core::EstimateInfimum(*dataset, k, options, seed + 99 + k, 2);
+      inf_tmc.push_back(util::FormatDouble(inf.tmc, 0));
+      inf_lat.push_back(util::FormatDouble(inf.rounds, 0));
+    }
+    tmc_table.AddRow(inf_tmc);
+    lat_table.AddRow(inf_lat);
+
+    tmc_table.Print();
+    std::printf("\n");
+    lat_table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 9: effect of item cardinality on TMC and query latency (IMDb,
+// Book). Each point runs the methods on a random N-item subset.
+//
+// Paper shape: all methods grow with N; QuickSelect, TourTree and HeapSort
+// are much more sensitive than SPR, whose trend stays closest to the
+// infimum.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/infimum.h"
+#include "data/subset_dataset.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(5);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble("Figure 9: effect of item cardinality N", runs, seed);
+
+  const judgment::ComparisonOptions options =
+      bench::DefaultComparisonOptions();
+
+  for (const char* name : {"imdb", "book"}) {
+    auto dataset = data::MakeByName(name, seed);
+    std::vector<int64_t> sizes = {25, 50, 100, 200, 400};
+    if (dataset->num_items() > 800) sizes.push_back(800);
+    sizes.push_back(dataset->num_items());  // "All"
+
+    util::TablePrinter tmc_table(dataset->name() + ": TMC vs N");
+    util::TablePrinter lat_table(dataset->name() + ": latency vs N");
+    std::vector<std::string> header = {"Method"};
+    for (int64_t n : sizes) {
+      header.push_back(n == dataset->num_items() ? "All"
+                                                 : std::to_string(n));
+    }
+    tmc_table.SetHeader(header);
+    lat_table.SetHeader(header);
+
+    auto methods = bench::ConfidenceAwareMethods(options);
+    std::vector<std::vector<std::string>> tmc_rows, lat_rows;
+    for (auto& method : methods) {
+      tmc_rows.push_back({method->name()});
+      lat_rows.push_back({method->name()});
+    }
+    std::vector<std::string> inf_tmc = {"Infimum"};
+    std::vector<std::string> inf_lat = {"Infimum"};
+
+    util::Rng subset_rng(seed ^ 0xf19);
+    for (int64_t n : sizes) {
+      auto subset = data::RandomSubset(dataset.get(), n, &subset_rng);
+      const int64_t k = std::min<int64_t>(bench::DefaultK(), n);
+      for (size_t m = 0; m < methods.size(); ++m) {
+        const bench::Averages averages = bench::AverageRuns(
+            *subset, methods[m].get(), k, runs, seed + n);
+        tmc_rows[m].push_back(util::FormatDouble(averages.tmc, 0));
+        lat_rows[m].push_back(util::FormatDouble(averages.rounds, 0));
+      }
+      const core::InfimumEstimate inf =
+          core::EstimateInfimum(*subset, k, options, seed + 7 * n, 2);
+      inf_tmc.push_back(util::FormatDouble(inf.tmc, 0));
+      inf_lat.push_back(util::FormatDouble(inf.rounds, 0));
+    }
+    for (auto& row : tmc_rows) tmc_table.AddRow(row);
+    tmc_table.AddRow(inf_tmc);
+    for (auto& row : lat_rows) lat_table.AddRow(row);
+    lat_table.AddRow(inf_lat);
+
+    tmc_table.Print();
+    std::printf("\n");
+    lat_table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 10: effect of the confidence level 1-alpha on TMC and latency
+// (IMDb, Book).
+//
+// Paper shape: every method's cost and latency rise monotonically with the
+// confidence level; SPR stays the cheapest with latency at or below
+// QuickSelect's.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/infimum.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(5);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble("Figure 10: effect of the confidence level", runs,
+                       seed);
+
+  const std::vector<double> confidences = {0.80, 0.85, 0.90, 0.95, 0.98};
+
+  for (const char* name : {"imdb", "book"}) {
+    auto dataset = data::MakeByName(name, seed);
+    util::TablePrinter tmc_table(dataset->name() + ": TMC vs confidence");
+    util::TablePrinter lat_table(dataset->name() + ": latency vs confidence");
+    std::vector<std::string> header = {"Method"};
+    for (double c : confidences) header.push_back(util::FormatDouble(c, 2));
+    tmc_table.SetHeader(header);
+    lat_table.SetHeader(header);
+
+    std::vector<std::vector<std::string>> tmc_rows(4), lat_rows(4);
+    std::vector<std::string> inf_tmc = {"Infimum"};
+    std::vector<std::string> inf_lat = {"Infimum"};
+    bool names_set = false;
+    for (double confidence : confidences) {
+      judgment::ComparisonOptions options =
+          bench::DefaultComparisonOptions();
+      options.alpha = 1.0 - confidence;
+      auto methods = bench::ConfidenceAwareMethods(options);
+      for (size_t m = 0; m < methods.size(); ++m) {
+        if (!names_set) {
+          tmc_rows[m].push_back(methods[m]->name());
+          lat_rows[m].push_back(methods[m]->name());
+        }
+        const bench::Averages averages =
+            bench::AverageRuns(*dataset, methods[m].get(), bench::DefaultK(),
+                               runs, seed + static_cast<int>(confidence * 100));
+        tmc_rows[m].push_back(util::FormatDouble(averages.tmc, 0));
+        lat_rows[m].push_back(util::FormatDouble(averages.rounds, 0));
+      }
+      names_set = true;
+      const core::InfimumEstimate inf = core::EstimateInfimum(
+          *dataset, bench::DefaultK(), options,
+          seed + static_cast<int>(confidence * 1000), 2);
+      inf_tmc.push_back(util::FormatDouble(inf.tmc, 0));
+      inf_lat.push_back(util::FormatDouble(inf.rounds, 0));
+    }
+    for (auto& row : tmc_rows) tmc_table.AddRow(row);
+    tmc_table.AddRow(inf_tmc);
+    for (auto& row : lat_rows) lat_table.AddRow(row);
+    lat_table.AddRow(inf_lat);
+    tmc_table.Print();
+    std::printf("\n");
+    lat_table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 11: effect of the per-pair comparison budget B on TMC and latency
+// (IMDb, Book).
+//
+// Paper shape: cost and latency increase monotonically in B for every
+// method (a larger budget lets difficult comparisons keep buying); SPR
+// stays closest to the infimum.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/infimum.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(5);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble("Figure 11: effect of the pairwise budget B", runs,
+                       seed);
+
+  const std::vector<int64_t> budgets = {30, 100, 200, 500, 1000, 2000, 4000};
+
+  for (const char* name : {"imdb", "book"}) {
+    auto dataset = data::MakeByName(name, seed);
+    util::TablePrinter tmc_table(dataset->name() + ": TMC vs B");
+    util::TablePrinter lat_table(dataset->name() + ": latency vs B");
+    std::vector<std::string> header = {"Method"};
+    for (int64_t b : budgets) header.push_back("B=" + std::to_string(b));
+    tmc_table.SetHeader(header);
+    lat_table.SetHeader(header);
+
+    std::vector<std::vector<std::string>> tmc_rows(4), lat_rows(4);
+    std::vector<std::string> inf_tmc = {"Infimum"};
+    std::vector<std::string> inf_lat = {"Infimum"};
+    bool names_set = false;
+    for (int64_t budget : budgets) {
+      judgment::ComparisonOptions options =
+          bench::DefaultComparisonOptions();
+      options.budget = budget;
+      auto methods = bench::ConfidenceAwareMethods(options);
+      for (size_t m = 0; m < methods.size(); ++m) {
+        if (!names_set) {
+          tmc_rows[m].push_back(methods[m]->name());
+          lat_rows[m].push_back(methods[m]->name());
+        }
+        const bench::Averages averages = bench::AverageRuns(
+            *dataset, methods[m].get(), bench::DefaultK(), runs,
+            seed + budget);
+        tmc_rows[m].push_back(util::FormatDouble(averages.tmc, 0));
+        lat_rows[m].push_back(util::FormatDouble(averages.rounds, 0));
+      }
+      names_set = true;
+      const core::InfimumEstimate inf = core::EstimateInfimum(
+          *dataset, bench::DefaultK(), options, seed + 3 * budget, 2);
+      inf_tmc.push_back(util::FormatDouble(inf.tmc, 0));
+      inf_lat.push_back(util::FormatDouble(inf.rounds, 0));
+    }
+    for (auto& row : tmc_rows) tmc_table.AddRow(row);
+    tmc_table.AddRow(inf_tmc);
+    for (auto& row : lat_rows) lat_table.AddRow(row);
+    lat_table.AddRow(inf_lat);
+    tmc_table.Print();
+    std::printf("\n");
+    lat_table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 12: performance summary at default settings (IMDb, Book): TMC and
+// latency of all confidence-aware methods against the infimum.
+//
+// Paper shape: SPR is the only method approaching the infimum on cost while
+// keeping latency near QuickSelect's.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/infimum.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(8);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble("Figure 12: performance summary (defaults)", runs,
+                       seed);
+
+  const judgment::ComparisonOptions options =
+      bench::DefaultComparisonOptions();
+
+  for (const char* name : {"imdb", "book"}) {
+    auto dataset = data::MakeByName(name, seed);
+    util::TablePrinter table(dataset->name() + ": summary");
+    table.SetHeader({"Method", "TMC", "Latency", "NDCG", "Precision"});
+    auto methods = bench::ConfidenceAwareMethods(options);
+    for (auto& method : methods) {
+      const bench::Averages averages = bench::AverageRuns(
+          *dataset, method.get(), bench::DefaultK(), runs, seed + 1);
+      table.AddRow({method->name(), util::FormatDouble(averages.tmc, 0),
+                    util::FormatDouble(averages.rounds, 0),
+                    util::FormatDouble(averages.ndcg, 3),
+                    util::FormatDouble(averages.precision, 3)});
+    }
+    const core::InfimumEstimate inf = core::EstimateInfimum(
+        *dataset, bench::DefaultK(), options, seed + 2, 3);
+    table.AddRow({"Infimum", util::FormatDouble(inf.tmc, 0),
+                  util::FormatDouble(inf.rounds, 0), "-", "-"});
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figure 13: result accuracy (NDCG) on IMDb by varying k, item cardinality,
+// pairwise budget B, and confidence level.
+//
+// Paper shape: all methods perform badly when B <= 100 and recover once B is
+// sufficient (hence the B = 1000 default); at defaults the methods score
+// similar NDCG with QuickSelect slightly ahead, while SPR achieves that
+// accuracy at the lowest TMC.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "data/subset_dataset.h"
+
+namespace {
+
+using namespace crowdtopk;
+
+using MethodList = std::vector<std::unique_ptr<core::TopKAlgorithm>>;
+
+}  // namespace
+
+int main() {
+  const int64_t runs = util::BenchRuns(5);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble("Figure 13: accuracy (NDCG) on IMDb-like data", runs,
+                       seed);
+
+  auto imdb = data::MakeImdbLike(seed);
+
+  // (a) vary k.
+  {
+    util::TablePrinter table("NDCG vs k");
+    table.SetHeader({"Method", "k=1", "k=5", "k=10", "k=15", "k=20"});
+    auto methods =
+        bench::ConfidenceAwareMethods(bench::DefaultComparisonOptions());
+    for (auto& method : methods) {
+      std::vector<std::string> row = {method->name()};
+      for (int64_t k : {1, 5, 10, 15, 20}) {
+        const bench::Averages averages =
+            bench::AverageRuns(*imdb, method.get(), k, runs, seed + k);
+        row.push_back(util::FormatDouble(averages.ndcg, 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (b) vary N.
+  {
+    util::TablePrinter table("NDCG vs N");
+    table.SetHeader({"Method", "25", "50", "100", "200", "400", "800",
+                     "All"});
+    auto methods =
+        bench::ConfidenceAwareMethods(bench::DefaultComparisonOptions());
+    std::vector<std::vector<std::string>> rows(methods.size());
+    for (size_t m = 0; m < methods.size(); ++m) {
+      rows[m].push_back(methods[m]->name());
+    }
+    util::Rng subset_rng(seed ^ 0xacc);
+    for (int64_t n : {int64_t{25}, int64_t{50}, int64_t{100}, int64_t{200},
+                      int64_t{400}, int64_t{800}, imdb->num_items()}) {
+      auto subset = data::RandomSubset(imdb.get(), n, &subset_rng);
+      const int64_t k = std::min<int64_t>(bench::DefaultK(), n);
+      for (size_t m = 0; m < methods.size(); ++m) {
+        const bench::Averages averages = bench::AverageRuns(
+            *subset, methods[m].get(), k, runs, seed + n);
+        rows[m].push_back(util::FormatDouble(averages.ndcg, 3));
+      }
+    }
+    for (auto& row : rows) table.AddRow(row);
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (c) vary B.
+  {
+    util::TablePrinter table("NDCG vs B (accuracy needs a sufficient B)");
+    table.SetHeader({"Method", "B=30", "B=100", "B=200", "B=500", "B=1000",
+                     "B=2000", "B=4000"});
+    std::vector<std::vector<std::string>> rows(4);
+    bool names_set = false;
+    for (int64_t budget : {30, 100, 200, 500, 1000, 2000, 4000}) {
+      judgment::ComparisonOptions options =
+          bench::DefaultComparisonOptions();
+      options.budget = budget;
+      auto methods = bench::ConfidenceAwareMethods(options);
+      for (size_t m = 0; m < methods.size(); ++m) {
+        if (!names_set) rows[m].push_back(methods[m]->name());
+        const bench::Averages averages =
+            bench::AverageRuns(*imdb, methods[m].get(), bench::DefaultK(),
+                               runs, seed + budget);
+        rows[m].push_back(util::FormatDouble(averages.ndcg, 3));
+      }
+      names_set = true;
+    }
+    for (auto& row : rows) table.AddRow(row);
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (d) vary confidence level.
+  {
+    util::TablePrinter table("NDCG vs confidence level");
+    table.SetHeader({"Method", "0.80", "0.85", "0.90", "0.95", "0.98"});
+    std::vector<std::vector<std::string>> rows(4);
+    bool names_set = false;
+    for (double confidence : {0.80, 0.85, 0.90, 0.95, 0.98}) {
+      judgment::ComparisonOptions options =
+          bench::DefaultComparisonOptions();
+      options.alpha = 1.0 - confidence;
+      auto methods = bench::ConfidenceAwareMethods(options);
+      for (size_t m = 0; m < methods.size(); ++m) {
+        if (!names_set) rows[m].push_back(methods[m]->name());
+        const bench::Averages averages = bench::AverageRuns(
+            *imdb, methods[m].get(), bench::DefaultK(), runs,
+            seed + static_cast<int>(confidence * 100));
+        rows[m].push_back(util::FormatDouble(averages.ndcg, 3));
+      }
+      names_set = true;
+    }
+    for (auto& row : rows) table.AddRow(row);
+    table.Print();
+  }
+  return 0;
+}

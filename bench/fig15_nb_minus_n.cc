@@ -1,0 +1,82 @@
+// Figure 15 (Appendix D): analytic comparison of the sample sizes needed by
+// the pairwise binary judgment (n_b, Hoeffding, Equation (3)) and the
+// pairwise preference judgment (n, Student's t) over a (mu, sigma) grid.
+//
+// n solves n = (t_{alpha/2, n-1} * sigma / mu)^2 (fixed point); n_b =
+// (2 / mu~^2) log(2 / alpha) with mu~ = 2 Phi(mu / sigma) - 1. The paper's
+// Mathematica surface shows n_b - n > 0 everywhere; this harness prints the
+// same difference on a grid.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "stats/normal.h"
+#include "stats/student_t.h"
+
+namespace {
+
+using namespace crowdtopk;
+
+// Fixed point of n = (t_{alpha/2, n-1} sigma / mu)^2, floored at 2.
+double StudentSampleSize(double mu, double sigma, double alpha) {
+  double n = 64.0;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double df = std::max(n - 1.0, 1.0);
+    const double t = stats::StudentTCritical(alpha, df);
+    const double next = std::max(2.0, std::pow(t * sigma / mu, 2.0));
+    if (std::fabs(next - n) < 1e-9) return next;
+    n = 0.5 * (n + next);  // damped iteration for stability
+  }
+  return n;
+}
+
+double BinarySampleSize(double mu, double sigma, double alpha) {
+  const double mu_tilde = 2.0 * stats::NormalCdf(mu / sigma) - 1.0;
+  return 2.0 / (mu_tilde * mu_tilde) * std::log(2.0 / alpha);
+}
+
+}  // namespace
+
+int main() {
+  const double alpha = 0.05;
+  std::printf(
+      "Figure 15: n_b - n over the (mu, sigma) grid (alpha = %.2f)\n"
+      "(paper: positive everywhere, i.e. binary judgments always need more "
+      "samples)\n\n",
+      alpha);
+
+  const std::vector<double> mus = {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::vector<double> sigmas = {0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  util::TablePrinter table("n_b - n (rows: sigma, cols: mu)");
+  std::vector<std::string> header = {"sigma\\mu"};
+  for (double mu : mus) header.push_back(util::FormatDouble(mu, 2));
+  table.SetHeader(header);
+  int64_t negatives = 0;
+  for (double sigma : sigmas) {
+    std::vector<std::string> row = {util::FormatDouble(sigma, 2)};
+    for (double mu : mus) {
+      const double n = StudentSampleSize(mu, sigma, alpha);
+      const double nb = BinarySampleSize(mu, sigma, alpha);
+      const double diff = nb - n;
+      if (diff <= 0.0) ++negatives;
+      row.push_back(util::FormatDouble(diff, 1));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\ncells with n_b - n <= 0: %lld (paper predicts 0)\n",
+              static_cast<long long>(negatives));
+
+  // Also report the asymptotic workload ratio as mu/sigma -> 0:
+  // n_b/n -> 2 ln(2/alpha) / (z_{alpha/2}^2 * (2 phi(0))^2).
+  const double z = stats::NormalQuantile(1.0 - alpha / 2.0);
+  const double phi0 = stats::NormalPdf(0.0);
+  std::printf("asymptotic n_b/n ratio for hard comparisons: %.2f\n",
+              2.0 * std::log(2.0 / alpha) / (z * z * 4.0 * phi0 * phi0));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 16 (Appendix F): SPR's TMC as a function of the sweet-spot range c.
+//
+// Paper shape: the cost is stable across c in {1.25, 1.5, 1.75, 2.0}, which
+// justifies fixing c = 1.5 by default.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(10);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble("Figure 16: sweet spot range c (SPR TMC)", runs, seed);
+
+  const judgment::ComparisonOptions options =
+      bench::DefaultComparisonOptions();
+
+  for (const char* name : {"imdb", "book"}) {
+    auto dataset = data::MakeByName(name, seed);
+    util::TablePrinter table(dataset->name() + ": SPR TMC vs c");
+    table.SetHeader({"c", "1.25", "1.50", "1.75", "2.00"});
+    std::vector<std::string> tmc_row = {"TMC"};
+    std::vector<std::string> ndcg_row = {"NDCG"};
+    for (double c : {1.25, 1.50, 1.75, 2.00}) {
+      core::SprOptions spr_options;
+      spr_options.comparison = options;
+      spr_options.sweet_spot_c = c;
+      core::Spr spr(spr_options);
+      const bench::Averages averages = bench::AverageRuns(
+          *dataset, &spr, bench::DefaultK(), runs, seed + 1);
+      tmc_row.push_back(util::FormatDouble(averages.tmc, 0));
+      ndcg_row.push_back(util::FormatDouble(averages.ndcg, 3));
+    }
+    table.AddRow(tmc_row);
+    table.AddRow(ndcg_row);
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

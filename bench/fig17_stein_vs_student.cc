@@ -1,0 +1,41 @@
+// Figure 17 (Appendix F): SPR with SteinComp vs SPR with StudentComp (TMC as
+// a function of k, IMDb).
+//
+// Paper shape: the two estimators perform analogously, justifying Student's
+// t as the default.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(5);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble("Figure 17: SteinComp vs StudentComp (SPR TMC vs k)",
+                       runs, seed);
+
+  auto imdb = data::MakeImdbLike(seed);
+  util::TablePrinter table("IMDb: SPR TMC by estimator");
+  table.SetHeader({"Estimator", "k=1", "k=5", "k=10", "k=15", "k=20"});
+  for (auto estimator :
+       {judgment::Estimator::kStudent, judgment::Estimator::kStein}) {
+    judgment::ComparisonOptions options = bench::DefaultComparisonOptions();
+    options.estimator = estimator;
+    core::SprOptions spr_options;
+    spr_options.comparison = options;
+    core::Spr spr(spr_options);
+    std::vector<std::string> row = {
+        estimator == judgment::Estimator::kStudent ? "Student" : "Stein"};
+    for (int64_t k : {1, 5, 10, 15, 20}) {
+      const bench::Averages averages =
+          bench::AverageRuns(*imdb, &spr, k, runs, seed + k);
+      row.push_back(util::FormatDouble(averages.tmc, 0));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figures 18-21 (Appendix F): TMC and latency on the Jester and Photo
+// datasets, varying k and the confidence level.
+//
+// Paper shape: same trends as IMDb/Book -- SPR cheapest (except k = 20 on
+// Jester where QuickSelect's pruning aligns), HeapSort's latency dominant.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/infimum.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(5);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble(
+      "Figures 18-21: Jester & Photo scalability (TMC, latency)", runs, seed);
+
+  for (const char* name : {"jester", "photo"}) {
+    auto dataset = data::MakeByName(name, seed);
+
+    // Vary k (Figs. 18, 19 top / 20, 21 top).
+    {
+      util::TablePrinter tmc_table(dataset->name() + ": TMC vs k");
+      util::TablePrinter lat_table(dataset->name() + ": latency vs k");
+      std::vector<std::string> header = {"Method", "k=1", "k=5", "k=10",
+                                         "k=15", "k=20"};
+      tmc_table.SetHeader(header);
+      lat_table.SetHeader(header);
+      auto methods =
+          bench::ConfidenceAwareMethods(bench::DefaultComparisonOptions());
+      for (auto& method : methods) {
+        std::vector<std::string> tmc_row = {method->name()};
+        std::vector<std::string> lat_row = {method->name()};
+        for (int64_t k : {1, 5, 10, 15, 20}) {
+          const bench::Averages averages =
+              bench::AverageRuns(*dataset, method.get(), k, runs, seed + k);
+          tmc_row.push_back(util::FormatDouble(averages.tmc, 0));
+          lat_row.push_back(util::FormatDouble(averages.rounds, 0));
+        }
+        tmc_table.AddRow(tmc_row);
+        lat_table.AddRow(lat_row);
+      }
+      std::vector<std::string> inf_tmc = {"Infimum"};
+      std::vector<std::string> inf_lat = {"Infimum"};
+      for (int64_t k : {1, 5, 10, 15, 20}) {
+        const core::InfimumEstimate inf = core::EstimateInfimum(
+            *dataset, k, bench::DefaultComparisonOptions(), seed + 31 * k, 2);
+        inf_tmc.push_back(util::FormatDouble(inf.tmc, 0));
+        inf_lat.push_back(util::FormatDouble(inf.rounds, 0));
+      }
+      tmc_table.AddRow(inf_tmc);
+      lat_table.AddRow(inf_lat);
+      tmc_table.Print();
+      std::printf("\n");
+      lat_table.Print();
+      std::printf("\n");
+    }
+
+    // Vary confidence level (Figs. 18, 19 bottom / 20, 21 bottom).
+    {
+      util::TablePrinter tmc_table(dataset->name() + ": TMC vs confidence");
+      util::TablePrinter lat_table(dataset->name() +
+                                   ": latency vs confidence");
+      std::vector<std::string> header = {"Method", "0.80", "0.85", "0.90",
+                                         "0.95", "0.98"};
+      tmc_table.SetHeader(header);
+      lat_table.SetHeader(header);
+      std::vector<std::vector<std::string>> tmc_rows(4), lat_rows(4);
+      bool names_set = false;
+      for (double confidence : {0.80, 0.85, 0.90, 0.95, 0.98}) {
+        judgment::ComparisonOptions options =
+            bench::DefaultComparisonOptions();
+        options.alpha = 1.0 - confidence;
+        auto methods = bench::ConfidenceAwareMethods(options);
+        for (size_t m = 0; m < methods.size(); ++m) {
+          if (!names_set) {
+            tmc_rows[m].push_back(methods[m]->name());
+            lat_rows[m].push_back(methods[m]->name());
+          }
+          const bench::Averages averages = bench::AverageRuns(
+              *dataset, methods[m].get(), bench::DefaultK(), runs,
+              seed + static_cast<int>(confidence * 100));
+          tmc_rows[m].push_back(util::FormatDouble(averages.tmc, 0));
+          lat_rows[m].push_back(util::FormatDouble(averages.rounds, 0));
+        }
+        names_set = true;
+      }
+      for (auto& row : tmc_rows) tmc_table.AddRow(row);
+      for (auto& row : lat_rows) lat_table.AddRow(row);
+      tmc_table.Print();
+      std::printf("\n");
+      lat_table.Print();
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared scaffolding for the paper-reproduction benchmark harnesses.
+//
+// Every bench binary prints the rows of one paper table/figure. Common knobs
+// come from the environment so the binaries run argument-free:
+//   CROWDTOPK_RUNS  repetitions per experiment point (paper: 100; default
+//                   here is smaller so a full `for b in bench/*` sweep
+//                   finishes quickly on one core)
+//   CROWDTOPK_SEED  master seed (default 20170514)
+
+#ifndef CROWDTOPK_BENCH_HARNESS_H_
+#define CROWDTOPK_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/heap_sort.h"
+#include "baselines/pbr.h"
+#include "baselines/quick_select.h"
+#include "baselines/tournament_tree.h"
+#include "core/spr.h"
+#include "core/topk_algorithm.h"
+#include "crowd/platform.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "metrics/ranking_metrics.h"
+#include "util/env.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace crowdtopk::bench {
+
+// Table 6 defaults (bold entries).
+inline judgment::ComparisonOptions DefaultComparisonOptions() {
+  judgment::ComparisonOptions options;
+  options.alpha = 0.02;       // 1 - alpha = 0.98
+  options.budget = 1000;      // B
+  options.min_workload = 30;  // I
+  options.batch_size = 30;    // eta
+  options.estimator = judgment::Estimator::kStudent;
+  return options;
+}
+
+inline int64_t DefaultK() { return 10; }
+
+struct Averages {
+  double tmc = 0.0;
+  double rounds = 0.0;
+  double ndcg = 0.0;
+  double precision = 0.0;
+};
+
+// Runs `algorithm` `runs` times on fresh platforms (seeds derived from
+// `seed`) and averages cost, latency, and quality.
+inline Averages AverageRuns(const data::Dataset& dataset,
+                            core::TopKAlgorithm* algorithm, int64_t k,
+                            int64_t runs, uint64_t seed) {
+  Averages averages;
+  util::Rng seeder(seed);
+  for (int64_t r = 0; r < runs; ++r) {
+    crowd::CrowdPlatform platform(&dataset, seeder.NextUint64());
+    const core::TopKResult result = algorithm->Run(&platform, k);
+    averages.tmc += static_cast<double>(result.total_microtasks);
+    averages.rounds += static_cast<double>(result.rounds);
+    averages.ndcg += metrics::Ndcg(dataset, result.items, k);
+    averages.precision += metrics::PrecisionAtK(dataset, result.items, k);
+  }
+  const double d = static_cast<double>(runs);
+  averages.tmc /= d;
+  averages.rounds /= d;
+  averages.ndcg /= d;
+  averages.precision /= d;
+  return averages;
+}
+
+// The four confidence-aware contenders of Sections 6.3/6.4 (SPR + the three
+// traditional baselines), built for one comparison-options setting.
+inline std::vector<std::unique_ptr<core::TopKAlgorithm>>
+ConfidenceAwareMethods(const judgment::ComparisonOptions& options) {
+  std::vector<std::unique_ptr<core::TopKAlgorithm>> methods;
+  core::SprOptions spr_options;
+  spr_options.comparison = options;
+  methods.push_back(std::make_unique<core::Spr>(spr_options));
+  methods.push_back(std::make_unique<baselines::TournamentTree>(options));
+  methods.push_back(std::make_unique<baselines::HeapSortTopK>(options));
+  methods.push_back(std::make_unique<baselines::QuickSelectTopK>(options));
+  return methods;
+}
+
+inline void PrintPreamble(const std::string& what, int64_t runs,
+                          uint64_t seed) {
+  std::printf("%s\n", what.c_str());
+  std::printf(
+      "runs/point=%lld seed=%llu (override: CROWDTOPK_RUNS, "
+      "CROWDTOPK_SEED)\n\n",
+      static_cast<long long>(runs), static_cast<unsigned long long>(seed));
+}
+
+}  // namespace crowdtopk::bench
+
+#endif  // CROWDTOPK_BENCH_HARNESS_H_

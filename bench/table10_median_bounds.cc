@@ -1,0 +1,69 @@
+// Table 10 (Appendix C): upper bounds on the comparison counts of median-
+// finding algorithms, next to the counts actually measured by this repo's
+// implementations on random inputs.
+//
+// Paper bounds: Bubble/Selection (3m^2+m-2)/8, Merge 3 m log m, Heap
+// m + 2m log(m/2), Quick m(m-1)/2.
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/median.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(20);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble(
+      "Table 10: comparison bounds for choosing the median (measured vs "
+      "bound)",
+      runs, seed);
+
+  const std::vector<core::MedianAlgorithm> algorithms = {
+      core::MedianAlgorithm::kBubble, core::MedianAlgorithm::kSelection,
+      core::MedianAlgorithm::kMerge, core::MedianAlgorithm::kHeap,
+      core::MedianAlgorithm::kQuick};
+  const std::vector<int64_t> sizes = {5, 9, 15, 31, 63};
+
+  util::TablePrinter table("median comparisons: measured (bound)");
+  std::vector<std::string> header = {"Algorithm"};
+  for (int64_t m : sizes) header.push_back("m=" + std::to_string(m));
+  table.SetHeader(header);
+
+  util::Rng rng(seed);
+  for (const auto algorithm : algorithms) {
+    std::vector<std::string> row = {core::MedianAlgorithmName(algorithm)};
+    for (int64_t m : sizes) {
+      double total = 0.0;
+      for (int64_t r = 0; r < runs; ++r) {
+        // Random distinct values; the comparator ranks by value.
+        std::vector<crowd::ItemId> items(m);
+        std::iota(items.begin(), items.end(), 0);
+        std::vector<double> value(m);
+        for (double& v : value) v = rng.Uniform();
+        rng.Shuffle(&items);
+        const core::MedianResult result = core::FindMedian(
+            items,
+            [&](crowd::ItemId a, crowd::ItemId b) {
+              return value[a] > value[b];
+            },
+            algorithm);
+        total += static_cast<double>(result.comparisons);
+      }
+      row.push_back(
+          util::FormatDouble(total / static_cast<double>(runs), 0) + " (" +
+          util::FormatDouble(core::MedianComparisonBound(algorithm, m), 0) +
+          ")");
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: every measured count is at or below its Table 10 bound;\n"
+      "Heap/Merge scale near-linearithmically, Bubble/Selection "
+      "quadratically\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 4: effect of changing the reference on SPR's monetary cost.
+//
+// IMDb-like dataset at default settings; the maximum number of reference
+// changes in the partition phase varies over {0, 1, 2, 4, 8, 16}. The paper
+// reports a shallow optimum around 2-4 changes (91310 -> ~86400 microtasks).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace crowdtopk;
+  const int64_t runs = util::BenchRuns(10);
+  const uint64_t seed = util::BenchSeed();
+  bench::PrintPreamble(
+      "Table 4: effect of changing the reference (IMDb-like, defaults)\n"
+      "(paper: 0 changes=91310, optimum ~86400 at 2-4 changes)",
+      runs, seed);
+
+  auto imdb = data::MakeImdbLike(seed);
+  const judgment::ComparisonOptions options =
+      bench::DefaultComparisonOptions();
+
+  util::TablePrinter table("SPR TMC vs max reference changes");
+  table.SetHeader({"Times", "0", "1", "2", "4", "8", "16"});
+  std::vector<std::string> work_row = {"Work."};
+  std::vector<std::string> ndcg_row = {"NDCG"};
+  for (int64_t changes : {0, 1, 2, 4, 8, 16}) {
+    core::SprOptions spr_options;
+    spr_options.comparison = options;
+    spr_options.max_reference_changes = changes;
+    core::Spr spr(spr_options);
+    const bench::Averages averages =
+        bench::AverageRuns(*imdb, &spr, bench::DefaultK(), runs, seed + 1);
+    work_row.push_back(util::FormatDouble(averages.tmc, 0));
+    ndcg_row.push_back(util::FormatDouble(averages.ndcg, 3));
+  }
+  table.AddRow(work_row);
+  table.AddRow(ndcg_row);
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Example: ranking candidate translations -- the paper's machine-translation
+// motivation (Zaidan & Callison-Burch; Google Translate / Duolingo style).
+//
+// 120 candidate translations of a sentence are ranked by bilingual workers.
+// The example contrasts three strategies on the same simulated crowd:
+//   1. plain SPR (confidence-aware pairwise preferences),
+//   2. HybridSPR (cheap graded filter, then SPR on the shortlist),
+//   3. CrowdBT with the same budget as SPR (binary votes + BTL fit).
+//
+//   $ ./build/examples/translation_ranking
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/crowd_bt.h"
+#include "baselines/hybrid.h"
+#include "core/spr.h"
+#include "crowd/platform.h"
+#include "data/gaussian_dataset.h"
+#include "metrics/ranking_metrics.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main() {
+  using namespace crowdtopk;
+
+  // Fluency scores of 120 machine translations: a few adequate candidates,
+  // a long tail of garbled ones (two quality clusters).
+  util::Rng gen(7);
+  std::vector<double> fluency;
+  for (int i = 0; i < 20; ++i) fluency.push_back(gen.Gaussian(8.0, 0.7));
+  for (int i = 0; i < 100; ++i) fluency.push_back(gen.Gaussian(4.5, 1.3));
+  data::GaussianDataset translations("translations", std::move(fluency),
+                                     /*noise_stddev=*/2.0,
+                                     /*score_scale=*/10.0);
+
+  const int64_t k = 5;
+  judgment::ComparisonOptions comparison;
+  comparison.alpha = 0.05;
+  comparison.budget = 800;
+  comparison.batch_size = 30;
+  core::SprOptions spr_options;
+  spr_options.comparison = comparison;
+
+  util::TablePrinter table("Top-5 translations: three strategies");
+  table.SetHeader({"Strategy", "Microtasks", "NDCG@5", "Precision@5"});
+
+  // 1. Plain SPR.
+  int64_t spr_cost = 0;
+  {
+    crowd::CrowdPlatform platform(&translations, 21);
+    core::Spr spr(spr_options);
+    const auto result = spr.Run(&platform, k);
+    spr_cost = result.total_microtasks;
+    table.AddRow({"SPR", std::to_string(result.total_microtasks),
+                  util::FormatDouble(
+                      metrics::Ndcg(translations, result.items, k), 3),
+                  util::FormatDouble(
+                      metrics::PrecisionAtK(translations, result.items, k),
+                      3)});
+  }
+  // 2. HybridSPR: grade-everything filter, SPR on the shortlist.
+  {
+    crowd::CrowdPlatform platform(&translations, 22);
+    baselines::HybridSpr::Options options;
+    options.grades_per_item = 20;
+    options.keep_factor = 4.0;
+    options.spr = spr_options;
+    baselines::HybridSpr hybrid_spr(options);
+    const auto result = hybrid_spr.Run(&platform, k);
+    table.AddRow({"HybridSPR", std::to_string(result.total_microtasks),
+                  util::FormatDouble(
+                      metrics::Ndcg(translations, result.items, k), 3),
+                  util::FormatDouble(
+                      metrics::PrecisionAtK(translations, result.items, k),
+                      3)});
+  }
+  // 3. CrowdBT with SPR's budget.
+  {
+    crowd::CrowdPlatform platform(&translations, 23);
+    baselines::CrowdBt::Options options;
+    options.total_budget = spr_cost;
+    baselines::CrowdBt crowd_bt(options);
+    const auto result = crowd_bt.Run(&platform, k);
+    table.AddRow({"CrowdBT", std::to_string(result.total_microtasks),
+                  util::FormatDouble(
+                      metrics::Ndcg(translations, result.items, k), 3),
+                  util::FormatDouble(
+                      metrics::PrecisionAtK(translations, result.items, k),
+                      3)});
+  }
+  table.Print();
+  std::printf(
+      "\nthe two-cluster structure is what makes the graded filter shine:\n"
+      "most of the 100 garbled candidates are eliminated for ~20 cheap\n"
+      "grades each instead of a confidence-aware pairwise comparison.\n");
+  return 0;
+}

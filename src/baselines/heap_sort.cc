@@ -1,0 +1,90 @@
+#include "baselines/heap_sort.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/sorting.h"
+#include "judgment/cache.h"
+#include "util/check.h"
+
+namespace crowdtopk::baselines {
+
+using core::ItemId;
+
+namespace {
+
+// "a is (crowd-)better than b": confirmed outcome if reachable, otherwise
+// the estimated-mean tie-break (deterministic: id order on dead-even).
+bool Better(ItemId a, ItemId b, judgment::ComparisonCache* cache,
+            crowd::CrowdPlatform* platform) {
+  const auto outcome = cache->Compare(a, b, platform);
+  if (outcome == crowd::ComparisonOutcome::kLeftWins) return true;
+  if (outcome == crowd::ComparisonOutcome::kRightWins) return false;
+  const double mean = cache->EstimatedMean(a, b);
+  if (mean != 0.0) return mean > 0.0;
+  return a < b;
+}
+
+// Sifts heap[index] down in the min-heap ("worse item on top").
+void SiftDown(std::vector<ItemId>* heap, size_t index,
+              judgment::ComparisonCache* cache,
+              crowd::CrowdPlatform* platform) {
+  const size_t size = heap->size();
+  while (true) {
+    const size_t left = 2 * index + 1;
+    const size_t right = 2 * index + 2;
+    size_t worst = index;
+    if (left < size &&
+        Better((*heap)[worst], (*heap)[left], cache, platform)) {
+      worst = left;
+    }
+    if (right < size &&
+        Better((*heap)[worst], (*heap)[right], cache, platform)) {
+      worst = right;
+    }
+    if (worst == index) return;
+    std::swap((*heap)[index], (*heap)[worst]);
+    index = worst;
+  }
+}
+
+}  // namespace
+
+core::TopKResult HeapSortTopK::Run(crowd::CrowdPlatform* platform,
+                                   int64_t k) {
+  const int64_t n = platform->num_items();
+  CROWDTOPK_CHECK(k >= 1 && k <= n);
+  judgment::ComparisonCache cache(options_);
+
+  std::vector<ItemId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  platform->rng()->Shuffle(&order);
+
+  // Seed the min-heap with k random items (performance is sensitive to this
+  // choice, Section 4.2) and heapify.
+  std::vector<ItemId> heap(order.begin(), order.begin() + k);
+  for (size_t index = heap.size() / 2 + 1; index-- > 0;) {
+    SiftDown(&heap, index, &cache, platform);
+  }
+
+  // Sequentially race every other item against the current k-th best.
+  for (int64_t position = k; position < n; ++position) {
+    const ItemId challenger = order[position];
+    if (Better(challenger, heap.front(), &cache, platform)) {
+      heap.front() = challenger;
+      SiftDown(&heap, 0, &cache, platform);
+    }
+  }
+
+  // Rank the k survivors best-first. Judgments among them are largely
+  // cached, so this final sort is cheap.
+  core::ConfirmSort(&heap, &cache, platform);
+  core::TopKResult result;
+  result.items = std::move(heap);
+  result.total_microtasks = platform->total_microtasks();
+  result.rounds = platform->rounds();
+  return result;
+}
+
+}  // namespace crowdtopk::baselines

@@ -1,0 +1,34 @@
+// Heap-sort top-k (Section 4.2).
+//
+// A min-heap of k candidate items is seeded with k random items; every other
+// item is then tested sequentially against the heap's minimum and replaces
+// it when better. Comparisons are confidence-aware and inherently
+// sequential, so the latency is high (Section 5.5). Total workload
+// O(Nw log k).
+
+#ifndef CROWDTOPK_BASELINES_HEAP_SORT_H_
+#define CROWDTOPK_BASELINES_HEAP_SORT_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+#include "judgment/comparison.h"
+
+namespace crowdtopk::baselines {
+
+class HeapSortTopK : public core::TopKAlgorithm {
+ public:
+  explicit HeapSortTopK(judgment::ComparisonOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "HeapSort"; }
+
+  core::TopKResult Run(crowd::CrowdPlatform* platform, int64_t k) override;
+
+ private:
+  judgment::ComparisonOptions options_;
+};
+
+}  // namespace crowdtopk::baselines
+
+#endif  // CROWDTOPK_BASELINES_HEAP_SORT_H_

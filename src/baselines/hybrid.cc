@@ -1,0 +1,125 @@
+#include "baselines/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "judgment/cache.h"
+#include "judgment/graded.h"
+#include "util/check.h"
+
+namespace crowdtopk::baselines {
+
+using core::ItemId;
+
+namespace {
+
+// Runs the grading filter: buys `grades_per_item` grades for every item and
+// returns the `keep` best ids (with their mean grades via *grades_out).
+std::vector<ItemId> FilterByGrades(int64_t grades_per_item, int64_t keep,
+                                   int64_t batch_size,
+                                   crowd::CrowdPlatform* platform,
+                                   std::vector<double>* grades_out) {
+  const int64_t n = platform->num_items();
+  std::vector<ItemId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  const std::vector<double> grades = judgment::CollectMeanGrades(
+      all, grades_per_item, batch_size, platform);
+  std::vector<ItemId> ranked = judgment::RankByGrades(all, grades);
+  ranked.resize(std::min<int64_t>(keep, n));
+  if (grades_out != nullptr) *grades_out = grades;
+  return ranked;
+}
+
+}  // namespace
+
+core::TopKResult Hybrid::Run(crowd::CrowdPlatform* platform, int64_t k) {
+  const int64_t n = platform->num_items();
+  CROWDTOPK_CHECK(k >= 1 && k <= n);
+
+  const int64_t keep = std::min<int64_t>(
+      n, std::max<int64_t>(
+             k, static_cast<int64_t>(std::llround(options_.keep_factor *
+                                                  static_cast<double>(k)))));
+  const int64_t filter_budget = static_cast<int64_t>(
+      static_cast<double>(options_.total_budget) * options_.filter_fraction);
+  const int64_t grades_per_item =
+      std::max<int64_t>(1, filter_budget / std::max<int64_t>(n, 1));
+
+  std::vector<double> grades;
+  const std::vector<ItemId> survivors = FilterByGrades(
+      grades_per_item, keep, options_.batch_size, platform, &grades);
+
+  // Ranking phase: round-robin binary votes over the surviving pairs until
+  // the budget runs out; score = vote share, grades break ties.
+  const int64_t m = static_cast<int64_t>(survivors.size());
+  std::vector<std::vector<int64_t>> wins(m, std::vector<int64_t>(m, 0));
+  std::vector<double> scratch;
+  int64_t remaining = options_.total_budget - platform->total_microtasks();
+  while (remaining >= m * (m - 1) / 2 && m >= 2) {
+    // One full round-robin sweep; all pairs run in parallel.
+    for (int64_t a = 0; a < m; ++a) {
+      for (int64_t b = a + 1; b < m; ++b) {
+        scratch.clear();
+        platform->CollectBinaryVotes(survivors[a], survivors[b], 1, &scratch);
+        if (scratch.front() > 0.0) {
+          ++wins[a][b];
+        } else {
+          ++wins[b][a];
+        }
+      }
+    }
+    platform->NextRound();
+    remaining = options_.total_budget - platform->total_microtasks();
+  }
+
+  std::vector<double> score(m, 0.0);
+  for (int64_t a = 0; a < m; ++a) {
+    for (int64_t b = 0; b < m; ++b) {
+      score[a] += static_cast<double>(wins[a][b]);
+    }
+  }
+  std::vector<int64_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    const double ga = grades[survivors[a]];
+    const double gb = grades[survivors[b]];
+    if (ga != gb) return ga > gb;
+    return survivors[a] < survivors[b];
+  });
+
+  core::TopKResult result;
+  for (int64_t index = 0; index < std::min<int64_t>(k, m); ++index) {
+    result.items.push_back(survivors[order[index]]);
+  }
+  result.total_microtasks = platform->total_microtasks();
+  result.rounds = platform->rounds();
+  return result;
+}
+
+core::TopKResult HybridSpr::Run(crowd::CrowdPlatform* platform, int64_t k) {
+  const int64_t n = platform->num_items();
+  CROWDTOPK_CHECK(k >= 1 && k <= n);
+
+  const int64_t keep = std::min<int64_t>(
+      n, std::max<int64_t>(
+             k, static_cast<int64_t>(std::llround(options_.keep_factor *
+                                                  static_cast<double>(k)))));
+  const std::vector<ItemId> survivors =
+      FilterByGrades(options_.grades_per_item, keep,
+                     options_.spr.comparison.batch_size, platform, nullptr);
+
+  core::Spr spr(options_.spr);
+  judgment::ComparisonCache cache(options_.spr.comparison);
+  std::vector<ItemId> ranked = spr.RunOnItems(survivors, k, &cache, platform);
+
+  core::TopKResult result;
+  result.items = std::move(ranked);
+  result.total_microtasks = platform->total_microtasks();
+  result.rounds = platform->rounds();
+  return result;
+}
+
+}  // namespace crowdtopk::baselines

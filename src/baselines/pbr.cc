@@ -1,0 +1,144 @@
+#include "baselines/pbr.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "stats/hoeffding.h"
+#include "stats/running_stats.h"
+#include "util/check.h"
+
+namespace crowdtopk::baselines {
+
+using core::ItemId;
+
+core::TopKResult PbrTopK::Run(crowd::CrowdPlatform* platform, int64_t k) {
+  const int64_t n = platform->num_items();
+  CROWDTOPK_CHECK(k >= 1 && k <= n);
+  CROWDTOPK_CHECK_GE(n, 2);
+
+  std::vector<stats::RunningStats> scores(n);
+  std::vector<bool> active(n, true);
+  std::vector<ItemId> selected;
+  std::vector<double> votes_scratch;
+  const int64_t cap = per_item_budget_factor_ * options_.budget;
+  int64_t num_active = n;
+
+  while (static_cast<int64_t>(selected.size()) < k &&
+         num_active > k - static_cast<int64_t>(selected.size())) {
+    // One batch round: every racing item buys eta binary votes against
+    // uniformly random opponents (parallel across items).
+    bool bought = false;
+    for (ItemId i = 0; i < n; ++i) {
+      if (!active[i] || scores[i].count() >= cap) continue;
+      for (int64_t t = 0; t < options_.batch_size; ++t) {
+        ItemId opponent = i;
+        while (opponent == i) {
+          opponent = static_cast<ItemId>(platform->rng()->UniformInt(n));
+        }
+        votes_scratch.clear();
+        platform->CollectBinaryVotes(i, opponent, 1, &votes_scratch);
+        scores[i].Add(votes_scratch.front());
+      }
+      bought = true;
+    }
+    if (bought) platform->NextRound();
+
+    // Racing bounds. Racing makes simultaneous claims about all N items, so
+    // the per-item confidence is union-bound corrected (as in the racing
+    // literature); this is a large part of why PBR's binary-vote racing is
+    // so much more expensive than per-pair confidence-aware comparisons.
+    const double corrected_alpha = options_.alpha / static_cast<double>(n);
+    std::vector<double> lower(n), upper(n);
+    std::vector<double> active_uppers, active_lowers;
+    for (ItemId i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      const double half = stats::HoeffdingHalfWidth(
+          std::max<int64_t>(scores[i].count(), 1), 2.0, corrected_alpha);
+      lower[i] = scores[i].Mean() - half;
+      upper[i] = scores[i].Mean() + half;
+      active_uppers.push_back(upper[i]);
+      active_lowers.push_back(lower[i]);
+    }
+    std::sort(active_uppers.begin(), active_uppers.end());
+    std::sort(active_lowers.begin(), active_lowers.end());
+
+    // Decide accepts/rejects against a consistent snapshot of this round's
+    // bounds (applying them mid-scan would mix stale counts with a shrunken
+    // active set and can mis-select).
+    const int64_t k_remaining = k - static_cast<int64_t>(selected.size());
+    const int64_t snapshot_active = num_active;
+    std::vector<ItemId> accepts, rejects;
+    for (ItemId i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      // Accept: i's lower bound beats all but < k_remaining active uppers.
+      const int64_t uppers_below =
+          std::lower_bound(active_uppers.begin(), active_uppers.end(),
+                           lower[i]) -
+          active_uppers.begin();  // strictly below lower[i]
+      // Reject: >= k_remaining active lowers beat i's upper bound.
+      const int64_t lowers_above =
+          active_lowers.end() -
+          std::upper_bound(active_lowers.begin(), active_lowers.end(),
+                           upper[i]);  // strictly above upper[i]
+      if (uppers_below >= snapshot_active - k_remaining) {
+        accepts.push_back(i);
+      } else if (lowers_above >= k_remaining) {
+        rejects.push_back(i);
+      }
+    }
+    for (ItemId i : accepts) {
+      if (static_cast<int64_t>(selected.size()) >= k) break;
+      selected.push_back(i);
+      active[i] = false;
+      --num_active;
+    }
+    for (ItemId i : rejects) {
+      if (num_active <= k - static_cast<int64_t>(selected.size())) break;
+      active[i] = false;
+      --num_active;
+    }
+
+    if (!bought) {
+      // Every racer hit the cap without separating: fall back to the
+      // empirical means for the remaining slots.
+      std::vector<ItemId> rest;
+      for (ItemId i = 0; i < n; ++i) {
+        if (active[i]) rest.push_back(i);
+      }
+      std::sort(rest.begin(), rest.end(), [&](ItemId a, ItemId b) {
+        return scores[a].Mean() > scores[b].Mean();
+      });
+      for (ItemId i : rest) {
+        if (static_cast<int64_t>(selected.size()) >= k) break;
+        selected.push_back(i);
+      }
+      break;
+    }
+  }
+
+  // If the race collapsed to exactly k_remaining survivors, they are all in.
+  if (static_cast<int64_t>(selected.size()) < k) {
+    for (ItemId i = 0; i < n; ++i) {
+      if (active[i] && static_cast<int64_t>(selected.size()) < k) {
+        selected.push_back(i);
+      }
+    }
+  }
+
+  // Rank the selected items by empirical Borda mean.
+  std::sort(selected.begin(), selected.end(), [&](ItemId a, ItemId b) {
+    if (scores[a].Mean() != scores[b].Mean()) {
+      return scores[a].Mean() > scores[b].Mean();
+    }
+    return a < b;
+  });
+
+  core::TopKResult result;
+  result.items = std::move(selected);
+  result.total_microtasks = platform->total_microtasks();
+  result.rounds = platform->rounds();
+  return result;
+}
+
+}  // namespace crowdtopk::baselines

@@ -1,0 +1,43 @@
+// Preference-based racing top-k (Section 2/6, after Busa-Fekete et al. [8]).
+//
+// PBR ranks items by their expected binary-preference score against a random
+// opponent (the "sum of expectations" Borda criterion) and races them with
+// Hoeffding confidence intervals: each batch round every undecided item buys
+// eta binary votes against uniformly random opponents; an item is accepted
+// into the top-k once its lower bound clears all but < k upper bounds, and
+// rejected once k items' lower bounds clear its upper bound. Binary votes
+// plus Hoeffding's loose intervals make PBR far more expensive than the
+// preference-judgment methods (Table 7), which is exactly the paper's point.
+
+#ifndef CROWDTOPK_BASELINES_PBR_H_
+#define CROWDTOPK_BASELINES_PBR_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+#include "judgment/comparison.h"
+
+namespace crowdtopk::baselines {
+
+class PbrTopK : public core::TopKAlgorithm {
+ public:
+  // `options` supplies alpha, batch_size, and budget; the racing cap per
+  // item is `per_item_budget_factor * options.budget` samples, after which
+  // remaining decisions fall back to the empirical means.
+  explicit PbrTopK(judgment::ComparisonOptions options,
+                   int64_t per_item_budget_factor = 8)
+      : options_(options),
+        per_item_budget_factor_(per_item_budget_factor) {}
+
+  std::string name() const override { return "PBR"; }
+
+  core::TopKResult Run(crowd::CrowdPlatform* platform, int64_t k) override;
+
+ private:
+  judgment::ComparisonOptions options_;
+  int64_t per_item_budget_factor_;
+};
+
+}  // namespace crowdtopk::baselines
+
+#endif  // CROWDTOPK_BASELINES_PBR_H_

@@ -1,0 +1,96 @@
+#include "baselines/quick_select.h"
+
+#include <numeric>
+#include <vector>
+
+#include "core/sorting.h"
+#include "judgment/cache.h"
+#include "util/check.h"
+
+namespace crowdtopk::baselines {
+
+using core::ItemId;
+
+namespace {
+
+// Partitions `items` around a pivot in parallel batch waves and recurses
+// into the side holding the top-k boundary.
+std::vector<ItemId> TopKSet(std::vector<ItemId> items, int64_t k,
+                            judgment::ComparisonCache* cache,
+                            crowd::CrowdPlatform* platform) {
+  if (k <= 0) return {};
+  if (static_cast<int64_t>(items.size()) <= k) return items;
+
+  const ItemId pivot =
+      items[platform->rng()->UniformInt(static_cast<int64_t>(items.size()))];
+  // One parallel wave set: every non-pivot item races against the pivot.
+  const int64_t batch = cache->options().batch_size;
+  while (true) {
+    bool stepped = false;
+    for (ItemId o : items) {
+      if (o == pivot) continue;
+      auto* session = cache->GetSession(o, pivot);
+      if (!session->Finished()) {
+        session->Step(platform, batch);
+        stepped = true;
+      }
+    }
+    if (!stepped) break;
+    platform->NextRound();
+  }
+
+  std::vector<ItemId> winners;
+  std::vector<ItemId> losers;
+  for (ItemId o : items) {
+    if (o == pivot) continue;
+    auto* session = cache->GetSession(o, pivot);
+    auto outcome = session->left() == o ? session->outcome()
+                                        : crowd::Reverse(session->outcome());
+    if (outcome == crowd::ComparisonOutcome::kTie) {
+      // Quick selection must place every item; budget-exhausted ties fall
+      // back to the estimated mean.
+      outcome = cache->EstimatedMean(o, pivot) > 0.0
+                    ? crowd::ComparisonOutcome::kLeftWins
+                    : crowd::ComparisonOutcome::kRightWins;
+    }
+    if (outcome == crowd::ComparisonOutcome::kLeftWins) {
+      winners.push_back(o);
+    } else {
+      losers.push_back(o);
+    }
+  }
+
+  if (static_cast<int64_t>(winners.size()) >= k) {
+    return TopKSet(std::move(winners), k, cache, platform);
+  }
+  const int64_t still_needed =
+      k - static_cast<int64_t>(winners.size()) - 1;  // pivot is selected
+  winners.push_back(pivot);
+  std::vector<ItemId> rest =
+      TopKSet(std::move(losers), still_needed, cache, platform);
+  winners.insert(winners.end(), rest.begin(), rest.end());
+  return winners;
+}
+
+}  // namespace
+
+core::TopKResult QuickSelectTopK::Run(crowd::CrowdPlatform* platform,
+                                      int64_t k) {
+  const int64_t n = platform->num_items();
+  CROWDTOPK_CHECK(k >= 1 && k <= n);
+  judgment::ComparisonCache cache(options_);
+
+  std::vector<ItemId> items(n);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<ItemId> selected =
+      TopKSet(std::move(items), k, &cache, platform);
+  core::ConfirmSort(&selected, &cache, platform);
+
+  core::TopKResult result;
+  result.items = std::move(selected);
+  result.total_microtasks = platform->total_microtasks();
+  result.rounds = platform->rounds();
+  return result;
+}
+
+}  // namespace crowdtopk::baselines

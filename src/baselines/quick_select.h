@@ -1,0 +1,34 @@
+// Quick-selection top-k (Section 4.3, after Hoare's FIND [22]).
+//
+// Recursively partitions the items around a random pivot (one parallel batch
+// wave per level) and recurses into the side containing the k-th item.
+// Average workload O(Nw + kw log k), worst case O(N^2 w). The pivot is not
+// confidence-steered, so near-pivot comparisons can be very expensive --
+// exactly the weakness SPR's sweet-spot reference avoids.
+
+#ifndef CROWDTOPK_BASELINES_QUICK_SELECT_H_
+#define CROWDTOPK_BASELINES_QUICK_SELECT_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+#include "judgment/comparison.h"
+
+namespace crowdtopk::baselines {
+
+class QuickSelectTopK : public core::TopKAlgorithm {
+ public:
+  explicit QuickSelectTopK(judgment::ComparisonOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "QuickSelect"; }
+
+  core::TopKResult Run(crowd::CrowdPlatform* platform, int64_t k) override;
+
+ private:
+  judgment::ComparisonOptions options_;
+};
+
+}  // namespace crowdtopk::baselines
+
+#endif  // CROWDTOPK_BASELINES_QUICK_SELECT_H_

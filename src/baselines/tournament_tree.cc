@@ -1,0 +1,74 @@
+#include "baselines/tournament_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/tournament.h"
+#include "judgment/cache.h"
+#include "util/check.h"
+
+namespace crowdtopk::baselines {
+
+using core::ItemId;
+
+core::TopKResult TournamentTree::Run(crowd::CrowdPlatform* platform,
+                                     int64_t k) {
+  const int64_t n = platform->num_items();
+  CROWDTOPK_CHECK(k >= 1 && k <= n);
+  judgment::ComparisonCache cache(options_);
+
+  // Random initial bracket (the expected workload is very sensitive to this
+  // permutation, Section 4.1).
+  std::vector<ItemId> bracket(n);
+  std::iota(bracket.begin(), bracket.end(), 0);
+  platform->rng()->Shuffle(&bracket);
+
+  // losers_to[x]: items that lost a match directly to x, in any tournament.
+  std::unordered_map<ItemId, std::vector<ItemId>> losers_to;
+
+  core::TopKResult result;
+  const core::TournamentRecord first =
+      core::TournamentMax(bracket, &cache, platform,
+                          /*charge_platform_rounds=*/true);
+  for (const auto& [winner, loser] : first.matches) {
+    losers_to[winner].push_back(loser);
+  }
+  result.items.push_back(first.winner);
+
+  std::unordered_set<ItemId> extracted = {first.winner};
+  // Candidates for the next champion: direct losers to extracted items.
+  std::vector<ItemId> candidates = losers_to[first.winner];
+  while (static_cast<int64_t>(result.items.size()) < k) {
+    CROWDTOPK_CHECK(!candidates.empty());
+    const core::TournamentRecord record =
+        core::TournamentMax(candidates, &cache, platform,
+                            /*charge_platform_rounds=*/true);
+    for (const auto& [winner, loser] : record.matches) {
+      losers_to[winner].push_back(loser);
+    }
+    result.items.push_back(record.winner);
+    extracted.insert(record.winner);
+    // Next candidate pool: old candidates minus the new champion, plus the
+    // items that directly lost to the new champion (deduplicated).
+    std::vector<ItemId> next;
+    std::unordered_set<ItemId> seen;
+    for (ItemId o : candidates) {
+      if (o != record.winner && extracted.count(o) == 0 && seen.insert(o).second) {
+        next.push_back(o);
+      }
+    }
+    for (ItemId o : losers_to[record.winner]) {
+      if (extracted.count(o) == 0 && seen.insert(o).second) next.push_back(o);
+    }
+    candidates = std::move(next);
+  }
+
+  result.total_microtasks = platform->total_microtasks();
+  result.rounds = platform->rounds();
+  return result;
+}
+
+}  // namespace crowdtopk::baselines

@@ -1,0 +1,34 @@
+// Tournament-tree top-k (Section 4.1, after Davidson et al. [12, 13]).
+//
+// Items are randomly paired; winners promote until the best item reaches the
+// root. The j-th best (j >= 2) is found by re-running a tournament over the
+// items that ever lost a match directly to an already-extracted item. All
+// matches are confidence-aware comparisons; results are cached, so replayed
+// matches are free. Total workload O(Nw + kw log N).
+
+#ifndef CROWDTOPK_BASELINES_TOURNAMENT_TREE_H_
+#define CROWDTOPK_BASELINES_TOURNAMENT_TREE_H_
+
+#include <string>
+
+#include "core/topk_algorithm.h"
+#include "judgment/comparison.h"
+
+namespace crowdtopk::baselines {
+
+class TournamentTree : public core::TopKAlgorithm {
+ public:
+  explicit TournamentTree(judgment::ComparisonOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "TourTree"; }
+
+  core::TopKResult Run(crowd::CrowdPlatform* platform, int64_t k) override;
+
+ private:
+  judgment::ComparisonOptions options_;
+};
+
+}  // namespace crowdtopk::baselines
+
+#endif  // CROWDTOPK_BASELINES_TOURNAMENT_TREE_H_

@@ -1,0 +1,44 @@
+// Infimum cost of a crowdsourced top-k query (Section 4.4, Lemmas 1 and 3).
+//
+// Lemma 1: with the perfect reference o*_k, the minimum possible cost is
+//     TMC_inf = sum_{j=1}^{k-1} W(o*_j, o*_{j+1}) + sum_{j=k+1}^{N} W(o*_j, o*_k),
+// where W(a, b) is the expected workload of COMP(a, b). The expectation has
+// no closed form under the stopping rule, so it is estimated by Monte-Carlo:
+// each required pair's comparison is simulated `repetitions` times on a
+// scratch platform (this privileged use of the ground truth is exactly how
+// the paper's "Inf" series is obtained -- it is a yardstick, not an
+// algorithm).
+
+#ifndef CROWDTOPK_CORE_INFIMUM_H_
+#define CROWDTOPK_CORE_INFIMUM_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "judgment/comparison.h"
+
+namespace crowdtopk::core {
+
+struct InfimumEstimate {
+  // Estimated TMC_inf (expected microtasks).
+  double tmc = 0.0;
+  // Best-case latency in batch rounds: all partition comparisons run in
+  // parallel (max of their round counts) plus one parallel wave of the
+  // adjacent top-k confirmations.
+  double rounds = 0.0;
+};
+
+// Lemma 1 (reference = o*_k).
+InfimumEstimate EstimateInfimum(const data::Dataset& dataset, int64_t k,
+                                const judgment::ComparisonOptions& options,
+                                uint64_t seed, int64_t repetitions = 3);
+
+// Lemma 3: the infimum when partitioning with reference o*_ell (ell >= k).
+InfimumEstimate EstimateInfimumWithReference(
+    const data::Dataset& dataset, int64_t k, int64_t ell,
+    const judgment::ComparisonOptions& options, uint64_t seed,
+    int64_t repetitions = 3);
+
+}  // namespace crowdtopk::core
+
+#endif  // CROWDTOPK_CORE_INFIMUM_H_

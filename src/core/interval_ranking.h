@@ -1,0 +1,59 @@
+// Interval-based ranking refinement (the paper's Section 7 future-work
+// optimisation, implemented).
+//
+// Reference-based sorting orders candidates by their estimated means against
+// the shared reference r and only *corrects* the order where a direct
+// comparison succeeds. The future-work idea inverts this: keep buying
+// judgments of the candidate-vs-reference pairs themselves -- even though
+// each pair's own COMP already concluded -- until the candidates'
+// confidence intervals around mu_{o,r} become pairwise disjoint where it
+// matters; disjoint intervals certify an order *without any direct
+// candidate-vs-candidate comparison*, because mu_{o,r} is monotone in s(o)
+// for the common reference.
+//
+// RefineByIntervals spends an extra refinement budget greedily on the most
+// blocking overlap (the adjacent pair with the widest interval) until the
+// requested prefix is certified or the budget runs out.
+
+#ifndef CROWDTOPK_CORE_INTERVAL_RANKING_H_
+#define CROWDTOPK_CORE_INTERVAL_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/platform.h"
+#include "crowd/types.h"
+#include "judgment/cache.h"
+
+namespace crowdtopk::core {
+
+using crowd::ItemId;
+
+struct IntervalRankingResult {
+  // Candidates ordered best-first by the refined estimated means.
+  std::vector<ItemId> ranked;
+  // Extra microtasks spent by the refinement.
+  int64_t refinement_cost = 0;
+  // Number of adjacent pairs of `ranked` whose intervals are disjoint
+  // (certified at the pairwise confidence level); |ranked| - 1 = fully
+  // certified chain.
+  int64_t certified_adjacent_pairs = 0;
+  // True iff every adjacent pair is certified.
+  bool fully_certified = false;
+};
+
+// Refines the ranking of `candidates` (each of which should already hold
+// judgments against `reference` in `cache`; unsampled candidates are given
+// a cold start first). Buys at most `refinement_budget` extra microtasks,
+// one batch at a time, always for the widest-interval endpoint of the most
+// overlapping adjacent pair. Latency: one platform round per purchased
+// batch (the refinement is inherently adaptive/sequential).
+IntervalRankingResult RefineByIntervals(const std::vector<ItemId>& candidates,
+                                        ItemId reference,
+                                        int64_t refinement_budget,
+                                        judgment::ComparisonCache* cache,
+                                        crowd::CrowdPlatform* platform);
+
+}  // namespace crowdtopk::core
+
+#endif  // CROWDTOPK_CORE_INTERVAL_RANKING_H_

@@ -1,0 +1,37 @@
+#include "core/latency_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace crowdtopk::core {
+
+LatencyBounds ComputeLatencyBounds(int64_t n, int64_t k,
+                                   const judgment::ComparisonOptions& options,
+                                   int64_t x, int64_t m) {
+  CROWDTOPK_CHECK_GE(n, 2);
+  CROWDTOPK_CHECK(k >= 1 && k <= n);
+  CROWDTOPK_CHECK_GE(x, 1);
+  CROWDTOPK_CHECK_GE(m, 1);
+  const double rounds_per_comparison = std::ceil(
+      static_cast<double>(options.budget) /
+      static_cast<double>(options.batch_size));
+  const double log_n = std::log2(static_cast<double>(n));
+  const double log_k = std::max(1.0, std::log2(static_cast<double>(k)));
+  const double log_log_n = std::max(1.0, std::log2(std::max(2.0, log_n)));
+
+  LatencyBounds bounds;
+  bounds.tournament_tree =
+      rounds_per_comparison * (log_n + static_cast<double>(k) * log_log_n);
+  bounds.heap_sort =
+      rounds_per_comparison *
+      (log_k * log_k + static_cast<double>(n - k) * log_k);
+  bounds.quick_select = rounds_per_comparison * log_n;
+  bounds.spr = rounds_per_comparison *
+               (std::max(1.0, std::log2(static_cast<double>(x))) +
+                std::max(1.0, std::log2(static_cast<double>(m))));
+  return bounds;
+}
+
+}  // namespace crowdtopk::core

@@ -1,0 +1,41 @@
+// Analytic latency bounds (Section 5.5).
+//
+// The paper derives the number of sequential comparison *stages* of each
+// method, each stage worth up to B/eta batch rounds:
+//
+//   TourTree     O(B' (log N + k log log N))
+//   HeapSort     O(B' (log^2 k + (N - k) log k))
+//   QuickSelect  O(B' log N)            (expected)
+//   SPR          O(B' (log x + log m))  (best case)
+//
+// with B' = ceil(B / eta). These closed forms are programme-checkable
+// sanity bounds: measured round counts should stay within a constant factor
+// of them, and their *ordering* (HeapSort far above the parallel methods)
+// is a headline experimental claim.
+
+#ifndef CROWDTOPK_CORE_LATENCY_BOUNDS_H_
+#define CROWDTOPK_CORE_LATENCY_BOUNDS_H_
+
+#include <cstdint>
+
+#include "judgment/comparison.h"
+
+namespace crowdtopk::core {
+
+struct LatencyBounds {
+  double tournament_tree = 0.0;
+  double heap_sort = 0.0;
+  double quick_select = 0.0;
+  double spr = 0.0;  // best case, using the (x, m) plan for this n/k
+};
+
+// Evaluates the Section 5.5 formulas for a query over n items with the given
+// comparison options; `x` and `m` are SPR's reference-sampling plan
+// (PlanReferenceSelection). Requires n >= 2, 1 <= k <= n.
+LatencyBounds ComputeLatencyBounds(int64_t n, int64_t k,
+                                   const judgment::ComparisonOptions& options,
+                                   int64_t x, int64_t m);
+
+}  // namespace crowdtopk::core
+
+#endif  // CROWDTOPK_CORE_LATENCY_BOUNDS_H_

@@ -1,0 +1,206 @@
+#include "core/median.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace crowdtopk::core {
+
+namespace {
+
+// Wraps the comparator with a counter.
+struct CountingComparator {
+  const BetterThan* better;
+  int64_t* counter;
+  bool operator()(ItemId a, ItemId b) const {
+    ++*counter;
+    return (*better)(a, b);
+  }
+};
+
+// Bubble passes from the tail until the median position is settled
+// (Appendix C's procedure: after ceil(m/2) passes the median surfaces).
+ItemId BubbleMedian(std::vector<ItemId> items, const CountingComparator& cmp) {
+  const int64_t m = static_cast<int64_t>(items.size());
+  const int64_t passes = (m + 1) / 2;
+  for (int64_t pass = 0; pass < passes; ++pass) {
+    // One bubble pass: the (pass+1)-th best floats to position `pass`.
+    for (int64_t pos = m - 1; pos > pass; --pos) {
+      if (cmp(items[pos], items[pos - 1])) {
+        std::swap(items[pos], items[pos - 1]);
+      }
+    }
+  }
+  return items[passes - 1];
+}
+
+// Selection sort up to the median position.
+ItemId SelectionMedian(std::vector<ItemId> items,
+                       const CountingComparator& cmp) {
+  const int64_t m = static_cast<int64_t>(items.size());
+  const int64_t target = (m + 1) / 2;
+  for (int64_t pos = 0; pos < target; ++pos) {
+    int64_t best = pos;
+    for (int64_t probe = pos + 1; probe < m; ++probe) {
+      if (cmp(items[probe], items[best])) best = probe;
+    }
+    std::swap(items[pos], items[best]);
+  }
+  return items[target - 1];
+}
+
+void Merge(std::vector<ItemId>* items, int64_t lo, int64_t mid, int64_t hi,
+           const CountingComparator& cmp, std::vector<ItemId>* scratch) {
+  scratch->clear();
+  int64_t a = lo, b = mid;
+  while (a < mid && b < hi) {
+    if (cmp((*items)[b], (*items)[a])) {
+      scratch->push_back((*items)[b++]);
+    } else {
+      scratch->push_back((*items)[a++]);
+    }
+  }
+  while (a < mid) scratch->push_back((*items)[a++]);
+  while (b < hi) scratch->push_back((*items)[b++]);
+  std::copy(scratch->begin(), scratch->end(), items->begin() + lo);
+}
+
+void MergeSort(std::vector<ItemId>* items, int64_t lo, int64_t hi,
+               const CountingComparator& cmp, std::vector<ItemId>* scratch) {
+  if (hi - lo < 2) return;
+  const int64_t mid = lo + (hi - lo) / 2;
+  MergeSort(items, lo, mid, cmp, scratch);
+  MergeSort(items, mid, hi, cmp, scratch);
+  Merge(items, lo, mid, hi, cmp, scratch);
+}
+
+ItemId MergeMedian(std::vector<ItemId> items, const CountingComparator& cmp) {
+  std::vector<ItemId> scratch;
+  MergeSort(&items, 0, static_cast<int64_t>(items.size()), cmp, &scratch);
+  return items[(items.size() - 1) / 2];
+}
+
+// Max-heap ("best on top") built in place; extract ceil(m/2) times.
+ItemId HeapMedian(std::vector<ItemId> items, const CountingComparator& cmp) {
+  const auto sift_down = [&](int64_t index, int64_t size) {
+    while (true) {
+      const int64_t left = 2 * index + 1;
+      const int64_t right = 2 * index + 2;
+      int64_t best = index;
+      if (left < size && cmp(items[left], items[best])) best = left;
+      if (right < size && cmp(items[right], items[best])) best = right;
+      if (best == index) return;
+      std::swap(items[index], items[best]);
+      index = best;
+    }
+  };
+  const int64_t m = static_cast<int64_t>(items.size());
+  for (int64_t index = m / 2; index-- > 0;) sift_down(index, m);
+  const int64_t extractions = (m + 1) / 2;
+  int64_t size = m;
+  ItemId median = items[0];
+  for (int64_t e = 0; e < extractions; ++e) {
+    median = items[0];
+    --size;
+    std::swap(items[0], items[size]);
+    sift_down(0, size);
+  }
+  return median;
+}
+
+ItemId QuickMedian(std::vector<ItemId> items, const CountingComparator& cmp) {
+  // Deterministic quickselect for the (ceil(m/2)-1)-th best (0-based),
+  // midpoint pivot.
+  int64_t lo = 0;
+  int64_t hi = static_cast<int64_t>(items.size());
+  const int64_t target = (static_cast<int64_t>(items.size()) + 1) / 2 - 1;
+  while (hi - lo > 1) {
+    const ItemId pivot = items[lo + (hi - lo) / 2];
+    std::vector<ItemId> better, worse;
+    for (int64_t index = lo; index < hi; ++index) {
+      if (items[index] == pivot) continue;
+      if (cmp(items[index], pivot)) {
+        better.push_back(items[index]);
+      } else {
+        worse.push_back(items[index]);
+      }
+    }
+    int64_t write = lo;
+    for (ItemId id : better) items[write++] = id;
+    const int64_t pivot_position = write;
+    items[write++] = pivot;
+    for (ItemId id : worse) items[write++] = id;
+    if (pivot_position == target) return pivot;
+    if (pivot_position > target) {
+      hi = pivot_position;
+    } else {
+      lo = pivot_position + 1;
+    }
+  }
+  return items[lo];
+}
+
+}  // namespace
+
+MedianResult FindMedian(const std::vector<ItemId>& items,
+                        const BetterThan& better,
+                        MedianAlgorithm algorithm) {
+  CROWDTOPK_CHECK(!items.empty());
+  MedianResult result;
+  const CountingComparator cmp{&better, &result.comparisons};
+  switch (algorithm) {
+    case MedianAlgorithm::kBubble:
+      result.median = BubbleMedian(items, cmp);
+      break;
+    case MedianAlgorithm::kSelection:
+      result.median = SelectionMedian(items, cmp);
+      break;
+    case MedianAlgorithm::kMerge:
+      result.median = MergeMedian(items, cmp);
+      break;
+    case MedianAlgorithm::kHeap:
+      result.median = HeapMedian(items, cmp);
+      break;
+    case MedianAlgorithm::kQuick:
+      result.median = QuickMedian(items, cmp);
+      break;
+  }
+  return result;
+}
+
+double MedianComparisonBound(MedianAlgorithm algorithm, int64_t m) {
+  CROWDTOPK_CHECK_GE(m, 1);
+  const double md = static_cast<double>(m);
+  const double log_m = std::log2(std::max(2.0, md));
+  switch (algorithm) {
+    case MedianAlgorithm::kBubble:
+    case MedianAlgorithm::kSelection:
+      return (3.0 * md * md + md - 2.0) / 8.0;
+    case MedianAlgorithm::kMerge:
+      return 3.0 * md * log_m;
+    case MedianAlgorithm::kHeap:
+      return md + 2.0 * md * std::log2(std::max(1.0, md / 2.0));
+    case MedianAlgorithm::kQuick:
+      return md * (md - 1.0) / 2.0;
+  }
+  return 0.0;
+}
+
+const char* MedianAlgorithmName(MedianAlgorithm algorithm) {
+  switch (algorithm) {
+    case MedianAlgorithm::kBubble:
+      return "Bubble";
+    case MedianAlgorithm::kSelection:
+      return "Selection";
+    case MedianAlgorithm::kMerge:
+      return "Merge";
+    case MedianAlgorithm::kHeap:
+      return "Heap";
+    case MedianAlgorithm::kQuick:
+      return "Quick";
+  }
+  return "?";
+}
+
+}  // namespace crowdtopk::core

@@ -1,0 +1,62 @@
+// Median selection strategies and their comparison costs (Appendix C).
+//
+// SPR's reference selection needs the median of m group maxima; Appendix C
+// bounds the comparisons of candidate algorithms (Table 10):
+//
+//   Bubble / Selection  (3m^2 + m - 2) / 8
+//   Merge               3 m log m
+//   Heap                m + 2 m log(m / 2)
+//   Quick               m (m - 1) / 2
+//
+// This module implements the four strategies over an abstract comparator so
+// the *actual* comparison counts can be measured against the bounds (the
+// bench table10_median_bounds prints both). The comparator returns true when
+// the left argument ranks higher (better).
+
+#ifndef CROWDTOPK_CORE_MEDIAN_H_
+#define CROWDTOPK_CORE_MEDIAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "crowd/types.h"
+
+namespace crowdtopk::core {
+
+using crowd::ItemId;
+
+// Comparator abstraction; implementations may be backed by crowd judgments
+// (expensive) or plain numbers (tests). Must behave like a strict weak
+// ordering for the cost guarantees to hold.
+using BetterThan = std::function<bool(ItemId, ItemId)>;
+
+enum class MedianAlgorithm {
+  kBubble,     // Appendix C's reference analysis
+  kSelection,  // selection sort up to the median position
+  kMerge,      // full merge sort, take the middle
+  kHeap,       // heapify + extract half
+  kQuick,      // quickselect on the middle order statistic
+};
+
+struct MedianResult {
+  ItemId median = -1;
+  // Comparisons actually performed.
+  int64_t comparisons = 0;
+};
+
+// Finds the lower median (position ceil(m/2) best-first) of `items` using
+// the chosen strategy. Items must be non-empty and distinct. Deterministic:
+// kQuick uses a fixed midpoint pivot.
+MedianResult FindMedian(const std::vector<ItemId>& items,
+                        const BetterThan& better, MedianAlgorithm algorithm);
+
+// Appendix C / Table 10 upper bounds for m items.
+double MedianComparisonBound(MedianAlgorithm algorithm, int64_t m);
+
+// Human-readable name of the strategy ("Bubble", ...).
+const char* MedianAlgorithmName(MedianAlgorithm algorithm);
+
+}  // namespace crowdtopk::core
+
+#endif  // CROWDTOPK_CORE_MEDIAN_H_

@@ -1,0 +1,118 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace crowdtopk::core {
+
+PartitionResult Partition(const std::vector<ItemId>& items, int64_t k,
+                          ItemId reference, int64_t max_reference_changes,
+                          judgment::ComparisonCache* cache,
+                          crowd::CrowdPlatform* platform) {
+  CROWDTOPK_CHECK_GE(k, 1);
+  CROWDTOPK_CHECK(std::find(items.begin(), items.end(), reference) !=
+                  items.end());
+
+  PartitionResult result;
+  result.reference = reference;
+  std::vector<ItemId>& winners = result.winners;
+  std::vector<ItemId>& losers = result.losers;
+
+  // Pending: items still being compared against the current reference
+  // (Algorithm 4's T_r before budget exhaustion). Exhausted ties are final.
+  std::vector<ItemId> pending;
+  pending.reserve(items.size());
+  for (ItemId o : items) {
+    if (o != reference) pending.push_back(o);
+  }
+  std::vector<ItemId> exhausted_ties;
+
+  const int64_t batch = cache->options().batch_size;
+  while (!pending.empty()) {
+    // One batch round: every pending comparison advances in parallel
+    // (Algorithm 4 lines 3-6; the first purchase is the cold-start I).
+    bool stepped = false;
+    for (ItemId o : pending) {
+      auto* session = cache->GetSession(o, result.reference);
+      if (!session->Finished()) {
+        session->Step(platform, batch);
+        stepped = true;
+      }
+    }
+    if (stepped) platform->NextRound();
+
+    // Classify what resolved this round (lines 7-8).
+    std::vector<ItemId> still_pending;
+    still_pending.reserve(pending.size());
+    for (ItemId o : pending) {
+      auto* session = cache->GetSession(o, result.reference);
+      if (!session->Finished()) {
+        still_pending.push_back(o);
+        continue;
+      }
+      const auto outcome = session->left() == o
+                               ? session->outcome()
+                               : crowd::Reverse(session->outcome());
+      switch (outcome) {
+        case crowd::ComparisonOutcome::kLeftWins:
+          winners.push_back(o);
+          break;
+        case crowd::ComparisonOutcome::kRightWins:
+          losers.push_back(o);
+          break;
+        case crowd::ComparisonOutcome::kTie:
+          exhausted_ties.push_back(o);
+          break;
+      }
+    }
+    pending = std::move(still_pending);
+
+    // Reference change (lines 9-12): once k (or more, when several winners
+    // resolve within one batch wave) winners are confirmed, the estimated
+    // k-th best winner is a strictly better reference (Lemma 4).
+    if (static_cast<int64_t>(winners.size()) >= k &&
+        result.reference_changes < max_reference_changes &&
+        (!pending.empty() || !exhausted_ties.empty())) {
+      // The k-th item of W_r under the estimated ordering (means against the
+      // current reference, descending) becomes the new reference. Only the
+      // k-1 winners estimated above it stay confirmed; any surplus winners
+      // (possible when several resolved within one wave) were judged only
+      // against the *old* reference and are demoted for re-comparison --
+      // otherwise the final Sort(W) could exclude the new reference while
+      // keeping items that never beat it.
+      std::vector<ItemId> by_estimate = winners;
+      std::sort(by_estimate.begin(), by_estimate.end(),
+                [&](ItemId a, ItemId b) {
+                  return cache->EstimatedMean(a, result.reference) >
+                         cache->EstimatedMean(b, result.reference);
+                });
+      const ItemId new_reference = by_estimate[k - 1];
+      losers.push_back(result.reference);
+      winners.assign(by_estimate.begin(), by_estimate.begin() + (k - 1));
+      result.reference = new_reference;
+      ++result.reference_changes;
+      // Surplus winners and ties judged against the old reference are
+      // re-opened against the new one (their old sessions stay in the cache
+      // and may be reused later).
+      for (size_t index = k; index < by_estimate.size(); ++index) {
+        pending.push_back(by_estimate[index]);
+      }
+      for (ItemId o : exhausted_ties) pending.push_back(o);
+      exhausted_ties.clear();
+    }
+
+    if (!stepped && pending.empty()) break;
+  }
+
+  result.ties = std::move(exhausted_ties);
+  // Line 13: if fewer than k confirmed winners, the reference itself is a
+  // top-k candidate.
+  if (static_cast<int64_t>(winners.size()) < k) {
+    winners.push_back(result.reference);
+  }
+  return result;
+}
+
+}  // namespace crowdtopk::core

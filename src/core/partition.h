@@ -1,0 +1,48 @@
+// Reference-based partitioning (Section 5.2, Algorithm 4).
+//
+// Compares every item with the reference r, incrementally (one batch per tie
+// per round) so that difficult comparisons are deferred; items resolve into
+// winners W_r, losers L_r, or permanent ties T_r (budget exhausted). When
+// the winner set reaches size k the reference may be *changed* to the
+// estimated k-th best winner (Lemma 4: a reference closer to o*_k is
+// cheaper), up to a configurable number of times (Table 4 ablation).
+
+#ifndef CROWDTOPK_CORE_PARTITION_H_
+#define CROWDTOPK_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/platform.h"
+#include "crowd/types.h"
+#include "judgment/cache.h"
+
+namespace crowdtopk::core {
+
+using crowd::ItemId;
+
+struct PartitionResult {
+  // The final reference (may differ from the initial one after changes).
+  ItemId reference = -1;
+  // Winners: confirmed better than the reference they were judged against.
+  // Per Algorithm 4 line 13, includes the final reference itself whenever
+  // the confirmed winners alone number fewer than k.
+  std::vector<ItemId> winners;
+  // Ties: indistinguishable from the final reference within budget B.
+  std::vector<ItemId> ties;
+  // Losers: confirmed worse (includes abandoned references).
+  std::vector<ItemId> losers;
+  // How many times the reference was changed.
+  int64_t reference_changes = 0;
+};
+
+// Partitions `items` (which must contain `reference`) for a top-k query.
+// `max_reference_changes` = 0 disables changing (Table 4, column "0").
+PartitionResult Partition(const std::vector<ItemId>& items, int64_t k,
+                          ItemId reference, int64_t max_reference_changes,
+                          judgment::ComparisonCache* cache,
+                          crowd::CrowdPlatform* platform);
+
+}  // namespace crowdtopk::core
+
+#endif  // CROWDTOPK_CORE_PARTITION_H_

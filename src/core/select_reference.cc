@@ -1,0 +1,143 @@
+#include "core/select_reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/sorting.h"
+#include "core/tournament.h"
+#include "stats/binomial.h"
+#include "util/check.h"
+
+namespace crowdtopk::core {
+
+int64_t BubbleMedianCost(int64_t m) {
+  CROWDTOPK_CHECK_GE(m, 1);
+  // Sum_{i=1}^{ceil(m/2)} (m - i): bubble passes until the median surfaces
+  // (Appendix C).
+  const int64_t passes = (m + 1) / 2;
+  return m * passes - passes * (passes + 1) / 2;
+}
+
+double GroupMaxReachesTopJ(int64_t n, int64_t j, int64_t x) {
+  CROWDTOPK_CHECK_GE(n, 1);
+  CROWDTOPK_CHECK_GE(x, 1);
+  if (j <= 0) return 0.0;
+  if (j >= n) return 1.0;
+  const double miss = 1.0 - static_cast<double>(j) / static_cast<double>(n);
+  return 1.0 - std::pow(miss, static_cast<double>(x));
+}
+
+double MedianInSweetSpotProbability(int64_t n, int64_t k, double c,
+                                    int64_t x, int64_t m) {
+  CROWDTOPK_CHECK_GE(m, 1);
+  CROWDTOPK_CHECK_EQ(m % 2, 1);
+  // p: a group max lands strictly above the sweet spot (within the top k-1).
+  const double p = GroupMaxReachesTopJ(n, k - 1, x);
+  // q: a group max lands at or above the bottom of the sweet spot.
+  const int64_t ck = std::min<int64_t>(
+      n, std::max<int64_t>(k, static_cast<int64_t>(std::floor(
+                                  c * static_cast<double>(k)))));
+  const double q = GroupMaxReachesTopJ(n, ck, x);
+  // Median too high: at least ceil(m/2) maxima above the sweet spot.
+  const double fail_high =
+      stats::BinomialTailAtLeast(m, (m + 1) / 2, p);
+  // Median too low: at least ceil((m+1)/2) maxima below the sweet spot.
+  const double fail_low =
+      stats::BinomialTailAtLeast(m, (m + 1) / 2, 1.0 - q);
+  return std::max(0.0, 1.0 - fail_high - fail_low);
+}
+
+ReferenceSelectionPlan PlanReferenceSelection(int64_t n, int64_t k, double c,
+                                              int64_t comparison_budget) {
+  CROWDTOPK_CHECK_GE(n, 1);
+  CROWDTOPK_CHECK_GE(k, 1);
+  CROWDTOPK_CHECK_GE(comparison_budget, 0);
+  ReferenceSelectionPlan best;
+  best.x = 1;
+  best.m = 1;
+  best.success_probability = MedianInSweetSpotProbability(n, k, c, 1, 1);
+
+  constexpr int64_t kMaxGroups = 31;
+  for (int64_t m = 1; m <= kMaxGroups; m += 2) {
+    const int64_t median_cost = BubbleMedianCost(m);
+    if (median_cost > comparison_budget) break;
+    const int64_t x_max = std::min<int64_t>(
+        n, (comparison_budget - median_cost) / m + 1);
+    if (x_max < 1) continue;
+    // The objective is smooth and unimodal in x; a coarse geometric grid
+    // with unit steps near the bottom finds the optimum to within noise.
+    int64_t x = 1;
+    while (x <= x_max) {
+      const double probability = MedianInSweetSpotProbability(n, k, c, x, m);
+      if (probability > best.success_probability) {
+        best.success_probability = probability;
+        best.x = x;
+        best.m = m;
+      }
+      // Unit steps up to 64, then 5% geometric growth.
+      x = x < 64 ? x + 1 : std::max(x + 1, x + x / 20);
+    }
+  }
+  return best;
+}
+
+ItemId SelectReference(const std::vector<ItemId>& items, int64_t k, double c,
+                       int64_t comparison_budget,
+                       judgment::ComparisonCache* cache,
+                       crowd::CrowdPlatform* platform) {
+  CROWDTOPK_CHECK(!items.empty());
+  const int64_t n = static_cast<int64_t>(items.size());
+  if (n == 1) return items.front();
+
+  const ReferenceSelectionPlan plan =
+      PlanReferenceSelection(n, k, c, comparison_budget);
+
+  util::Rng* rng = platform->rng();
+  std::vector<ItemId> maxima;
+  maxima.reserve(plan.m);
+  int64_t parallel_rounds = 0;
+  for (int64_t g = 0; g < plan.m; ++g) {
+    // x uniform samples with replacement; duplicates collapse (comparing an
+    // item with itself is meaningless).
+    std::vector<ItemId> group;
+    group.reserve(plan.x);
+    for (int64_t s = 0; s < plan.x; ++s) {
+      const ItemId candidate = items[rng->UniformInt(n)];
+      if (std::find(group.begin(), group.end(), candidate) == group.end()) {
+        group.push_back(candidate);
+      }
+    }
+    const TournamentRecord record =
+        TournamentMax(group, cache, platform,
+                      /*charge_platform_rounds=*/false);
+    parallel_rounds = std::max(parallel_rounds, record.rounds);
+    maxima.push_back(record.winner);
+  }
+  // The m groups ran in parallel: charge the slowest one.
+  platform->AccountRounds(parallel_rounds);
+
+  if (maxima.size() == 1) return maxima.front();
+
+  // Median of the maxima: dedupe (keeping multiplicities), sort the distinct
+  // candidates best-first with confirmed comparisons, then take the weighted
+  // median position.
+  std::map<ItemId, int64_t> multiplicity;
+  for (ItemId id : maxima) ++multiplicity[id];
+  std::vector<ItemId> distinct;
+  distinct.reserve(multiplicity.size());
+  for (const auto& [id, count] : multiplicity) {
+    (void)count;
+    distinct.push_back(id);
+  }
+  ConfirmSort(&distinct, cache, platform);
+  const int64_t median_position = (static_cast<int64_t>(maxima.size()) + 1) / 2;
+  int64_t cumulative = 0;
+  for (ItemId id : distinct) {
+    cumulative += multiplicity[id];
+    if (cumulative >= median_position) return id;
+  }
+  return distinct.back();
+}
+
+}  // namespace crowdtopk::core

@@ -1,0 +1,67 @@
+// Reference selection (Section 5.1, Algorithm 3).
+//
+// SPR wants a reference inside the "sweet spot" {o*_k, ..., o*_ck}. It takes
+// m independent groups of x uniform samples (with replacement), finds each
+// group's max by confidence-aware comparisons, and returns the *median* of
+// the m maxima. (x, m) are chosen by solving the paper's optimization
+// problem (2): maximise P{o*_k >= r >= o*_ck | x, m} subject to the sampling
+// cost m(x-1) plus the bubble-sort median cost (3m^2 + m - 2)/8 staying
+// within a budget of O(N) comparisons.
+
+#ifndef CROWDTOPK_CORE_SELECT_REFERENCE_H_
+#define CROWDTOPK_CORE_SELECT_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/platform.h"
+#include "crowd/types.h"
+#include "judgment/cache.h"
+#include "util/random.h"
+
+namespace crowdtopk::core {
+
+using crowd::ItemId;
+
+struct ReferenceSelectionPlan {
+  int64_t x = 1;  // samples per group
+  int64_t m = 1;  // number of groups (odd)
+  // The objective value P{o*_k >= r >= o*_ck | x, m} at the optimum.
+  double success_probability = 0.0;
+};
+
+// Upper bound on comparisons for finding the median of m numbers by bubble
+// sort: (3m^2 + m - 2) / 8 (Appendix C).
+int64_t BubbleMedianCost(int64_t m);
+
+// P{group max is at least as good as the j-th best of n | x samples}
+// = 1 - (1 - j/n)^x  (Equation (1)).
+double GroupMaxReachesTopJ(int64_t n, int64_t j, int64_t x);
+
+// P{o*_k >= median of m maxima >= o*_ck} for the given (x, m), computed with
+// exact binomial tails (the displayed equation before Lemma 2).
+double MedianInSweetSpotProbability(int64_t n, int64_t k, double c,
+                                    int64_t x, int64_t m);
+
+// Solves problem (2) by exact grid search over odd m and feasible x, with
+// `comparison_budget` comparisons allowed (the paper's O(N); pass n).
+ReferenceSelectionPlan PlanReferenceSelection(int64_t n, int64_t k, double c,
+                                              int64_t comparison_budget);
+
+// Algorithm 3: runs the sampling procedure over `items` and returns the
+// median of the group maxima. `comparison_budget` bounds the number of
+// selection comparisons (problem (2)'s right-hand side); the paper allows
+// O(N), and in practice a fraction of N keeps the selection cost from
+// dominating the partition cost (comparisons between group maxima are the
+// most expensive ones in the whole query -- they pit top items against each
+// other). Latency accounting: group tournaments run in parallel (max of the
+// per-group round counts is charged); the median sort is sequential.
+// Requires |items| >= 1.
+ItemId SelectReference(const std::vector<ItemId>& items, int64_t k, double c,
+                       int64_t comparison_budget,
+                       judgment::ComparisonCache* cache,
+                       crowd::CrowdPlatform* platform);
+
+}  // namespace crowdtopk::core
+
+#endif  // CROWDTOPK_CORE_SELECT_REFERENCE_H_

@@ -1,0 +1,70 @@
+#include "core/sorting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/normal.h"
+#include "util/check.h"
+
+namespace crowdtopk::core {
+
+double ThurstoneProbability(double mean_i, double sd_i, double mean_j,
+                            double sd_j) {
+  const double variance = sd_i * sd_i + sd_j * sd_j;
+  if (variance <= 0.0) {
+    if (mean_i > mean_j) return 1.0;
+    if (mean_i < mean_j) return 0.0;
+    return 0.5;
+  }
+  return stats::NormalCdf((mean_i - mean_j) / std::sqrt(variance));
+}
+
+std::vector<ItemId> InitialOrderByReference(
+    const std::vector<ItemId>& items, ItemId reference,
+    const judgment::ComparisonCache& cache) {
+  std::vector<ItemId> order = items;
+  auto estimated_mean = [&](ItemId o) {
+    return o == reference ? 0.0 : cache.EstimatedMean(o, reference);
+  };
+  std::stable_sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    const double ma = estimated_mean(a);
+    const double mb = estimated_mean(b);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  });
+  return order;
+}
+
+void ConfirmSort(std::vector<ItemId>* items, judgment::ComparisonCache* cache,
+                 crowd::CrowdPlatform* platform) {
+  CROWDTOPK_CHECK(items != nullptr);
+  const size_t n = items->size();
+  if (n < 2) return;
+  for (size_t pass = 0; pass < n; ++pass) {
+    bool swapped = false;
+    for (size_t pos = 0; pos + 1 < n; ++pos) {
+      const ItemId a = (*items)[pos];
+      const ItemId b = (*items)[pos + 1];
+      const auto outcome = cache->Compare(a, b, platform);
+      if (outcome == crowd::ComparisonOutcome::kRightWins) {
+        std::swap((*items)[pos], (*items)[pos + 1]);
+        swapped = true;
+      }
+      // kLeftWins keeps the order; kTie (budget exhausted) keeps the
+      // estimated order, guaranteeing termination.
+    }
+    if (!swapped) break;
+  }
+}
+
+std::vector<ItemId> SortByReference(const std::vector<ItemId>& items,
+                                    ItemId reference,
+                                    judgment::ComparisonCache* cache,
+                                    crowd::CrowdPlatform* platform) {
+  std::vector<ItemId> order =
+      InitialOrderByReference(items, reference, *cache);
+  ConfirmSort(&order, cache, platform);
+  return order;
+}
+
+}  // namespace crowdtopk::core

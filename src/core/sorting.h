@@ -1,0 +1,55 @@
+// Reference-based sorting (Section 5.3) and confirmed bubble sort.
+//
+// Items that were partitioned against a common reference r carry estimated
+// means mu^_{o,r}; Thurstone's calculation turns pairs of those estimates
+// into P{o_i > o_j}, which yields a good initial order. A best-case-linear
+// bubble sort then confirms (and where needed corrects) the order with
+// confidence-aware comparisons, reusing all previously purchased judgments
+// through the ComparisonCache.
+
+#ifndef CROWDTOPK_CORE_SORTING_H_
+#define CROWDTOPK_CORE_SORTING_H_
+
+#include <vector>
+
+#include "crowd/platform.h"
+#include "crowd/types.h"
+#include "judgment/cache.h"
+
+namespace crowdtopk::core {
+
+using crowd::ItemId;
+
+// Thurstone probability P{mu_i,r > mu_j,r} given the two estimated judgment
+// means and per-judgment stddevs against the shared reference (Section 5.3):
+// Phi((mean_i - mean_j) / sqrt(sd_i^2 + sd_j^2)). Falls back to a hard
+// 0/1/0.5 comparison of the means when both stddevs are zero.
+double ThurstoneProbability(double mean_i, double sd_i, double mean_j,
+                            double sd_j);
+
+// Orders `items` best-first by their estimated means against `reference`
+// (the reference itself, if present, uses mean 0; items never compared to
+// the reference also use 0). This is the Thurstone-consistent initial order:
+// for a common reference, P{i > j} > 1/2 iff mu^_{i,r} > mu^_{j,r}.
+std::vector<ItemId> InitialOrderByReference(
+    const std::vector<ItemId>& items, ItemId reference,
+    const judgment::ComparisonCache& cache);
+
+// Bubble-sorts *items best-first in place, confirming each adjacent pair
+// with a confidence-aware comparison through `cache` (already-resolved
+// pairs are free). Pairs that remain ties under the budget keep their
+// current relative order, which guarantees termination even under
+// non-transitive outcomes. Passes are capped at |items|.
+void ConfirmSort(std::vector<ItemId>* items, judgment::ComparisonCache* cache,
+                 crowd::CrowdPlatform* platform);
+
+// Full reference-based sort: initial order via the reference, then
+// ConfirmSort. Returns the sorted items best-first.
+std::vector<ItemId> SortByReference(const std::vector<ItemId>& items,
+                                    ItemId reference,
+                                    judgment::ComparisonCache* cache,
+                                    crowd::CrowdPlatform* platform);
+
+}  // namespace crowdtopk::core
+
+#endif  // CROWDTOPK_CORE_SORTING_H_

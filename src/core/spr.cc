@@ -1,0 +1,107 @@
+#include "core/spr.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/partition.h"
+#include "core/select_reference.h"
+#include "core/sorting.h"
+#include "util/check.h"
+
+namespace crowdtopk::core {
+
+TopKResult Spr::Run(crowd::CrowdPlatform* platform, int64_t k) {
+  CROWDTOPK_CHECK_GE(k, 1);
+  std::vector<ItemId> items(platform->num_items());
+  std::iota(items.begin(), items.end(), 0);
+  judgment::ComparisonCache cache(options_.comparison);
+
+  TopKResult result;
+  result.items = RunOnItems(items, k, &cache, platform);
+  result.total_microtasks = platform->total_microtasks();
+  result.rounds = platform->rounds();
+  return result;
+}
+
+std::vector<ItemId> Spr::RunOnItems(const std::vector<ItemId>& items,
+                                    int64_t k,
+                                    judgment::ComparisonCache* cache,
+                                    crowd::CrowdPlatform* platform) const {
+  CROWDTOPK_CHECK_GE(k, 1);
+  const int64_t n = static_cast<int64_t>(items.size());
+  if (n == 0) return {};
+
+  // Base case: no room to prune; sort everything.
+  if (n <= k) {
+    std::vector<ItemId> all = items;
+    ConfirmSort(&all, cache, platform);
+    return all;
+  }
+
+  // (1) Select a reference inside the sweet spot (Section 5.1). Selection
+  // comparisons run under a reduced per-pair budget through a private cache
+  // (their errors only cost efficiency, Section 5.4); the partition phase
+  // re-judges the chosen reference's pairs at full confidence.
+  const int64_t selection_budget = std::max<int64_t>(
+      8, static_cast<int64_t>(options_.selection_budget_fraction *
+                              static_cast<double>(n)));
+  judgment::ComparisonOptions selection_options = options_.comparison;
+  selection_options.budget =
+      std::min(options_.comparison.budget,
+               options_.selection_budget_per_pair_batches *
+                   options_.comparison.min_workload);
+  judgment::ComparisonCache selection_cache(selection_options);
+  const ItemId initial_reference =
+      SelectReference(items, k, options_.sweet_spot_c, selection_budget,
+                      &selection_cache, platform);
+
+  // (2) Partition against the reference (Section 5.2).
+  const PartitionResult partition =
+      Partition(items, k, initial_reference, options_.max_reference_changes,
+                cache, platform);
+  const ItemId reference = partition.reference;
+  const int64_t num_winners = static_cast<int64_t>(partition.winners.size());
+  const int64_t num_with_ties =
+      num_winners + static_cast<int64_t>(partition.ties.size());
+
+  // (3) Rank (Section 5.3 / Algorithm 2 lines 4-10).
+  if (num_winners >= k) {
+    // Line 10: |W_r| >= k -- the answer is the top-k of sorted W_r.
+    std::vector<ItemId> sorted =
+        SortByReference(partition.winners, reference, cache, platform);
+    sorted.resize(k);
+    return sorted;
+  }
+  if (num_with_ties >= k) {
+    // Lines 4-6: fill up with random ties (they are all within budget-B
+    // indistinguishability of the reference, hence of each other's rank
+    // region), then sort.
+    std::vector<ItemId> candidates = partition.winners;
+    std::vector<ItemId> ties = partition.ties;
+    platform->rng()->Shuffle(&ties);
+    candidates.insert(candidates.end(), ties.begin(),
+                      ties.begin() + (k - num_winners));
+    return SortByReference(candidates, reference, cache, platform);
+  }
+  // Lines 7-9: not enough candidates; recurse into the losers for the rest.
+  std::vector<ItemId> candidates = partition.winners;
+  candidates.insert(candidates.end(), partition.ties.begin(),
+                    partition.ties.end());
+  const int64_t remaining = k - num_with_ties;
+  CROWDTOPK_CHECK_GE(remaining, 1);
+  const std::vector<ItemId> from_losers =
+      RunOnItems(partition.losers, remaining, cache, platform);
+  candidates.insert(candidates.end(), from_losers.begin(), from_losers.end());
+  std::vector<ItemId> sorted =
+      SortByReference(candidates, reference, cache, platform);
+  if (static_cast<int64_t>(sorted.size()) > k) sorted.resize(k);
+  return sorted;
+}
+
+double SprPrecisionLowerBound(double alpha, double c) {
+  CROWDTOPK_CHECK(alpha >= 0.0 && alpha < 1.0);
+  CROWDTOPK_CHECK(c >= 1.0);
+  return (1.0 - alpha) / c;
+}
+
+}  // namespace crowdtopk::core

@@ -1,0 +1,69 @@
+// The Select-Partition-Rank (SPR) framework (Section 5, Algorithm 2).
+//
+// SPR answers a crowdsourced top-k query by (1) selecting a reference item
+// that lies in the sweet spot {o*_k ... o*_ck} with high probability,
+// (2) partitioning all items against the reference with incremental
+// confidence-aware comparisons, and (3) ranking the surviving candidates by
+// reference-based sorting. All judgments flow through a ComparisonCache so
+// nothing is ever purchased twice.
+
+#ifndef CROWDTOPK_CORE_SPR_H_
+#define CROWDTOPK_CORE_SPR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/topk_algorithm.h"
+#include "judgment/cache.h"
+#include "judgment/comparison.h"
+
+namespace crowdtopk::core {
+
+struct SprOptions {
+  // Microtask-level parameters (alpha, B, I, eta, estimator).
+  judgment::ComparisonOptions comparison;
+  // Sweet-spot width c > 1 (Table 6 default 1.5).
+  double sweet_spot_c = 1.5;
+  // Maximum number of reference changes in the partition phase (Table 4
+  // shows a shallow optimum around 2-4; 0 disables changing).
+  int64_t max_reference_changes = 4;
+  // Comparison budget of the reference-selection phase, as a fraction of N
+  // (problem (2) allows O(N) comparisons).
+  double selection_budget_fraction = 1.0;
+  // Per-pair budget multiplier for selection comparisons, in units of the
+  // cold-start workload I. Selection errors only affect efficiency, never
+  // correctness (Section 5.4), so selection runs its comparisons under a
+  // drastically reduced budget (default: exactly one cold-start batch per
+  // pair, ties resolved by the sample mean); without this, the median-of-
+  // maxima comparisons -- top items pitted against each other -- would
+  // dominate the whole query's cost.
+  int64_t selection_budget_per_pair_batches = 1;
+};
+
+class Spr : public TopKAlgorithm {
+ public:
+  explicit Spr(SprOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "SPR"; }
+
+  TopKResult Run(crowd::CrowdPlatform* platform, int64_t k) override;
+
+  // Runs SPR over an explicit item subset (used by the recursion and by
+  // HybridSPR). Returns the ranked top-min(k, |items|).
+  std::vector<ItemId> RunOnItems(const std::vector<ItemId>& items, int64_t k,
+                                 judgment::ComparisonCache* cache,
+                                 crowd::CrowdPlatform* platform) const;
+
+  const SprOptions& options() const { return options_; }
+
+ private:
+  SprOptions options_;
+};
+
+// Section 5.4: lower bound on SPR's expected precision, (1 - alpha) / c.
+double SprPrecisionLowerBound(double alpha, double c);
+
+}  // namespace crowdtopk::core
+
+#endif  // CROWDTOPK_CORE_SPR_H_

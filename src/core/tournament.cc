@@ -1,0 +1,64 @@
+#include "core/tournament.h"
+
+#include "util/check.h"
+
+namespace crowdtopk::core {
+
+ItemId PickMatchWinner(ItemId a, ItemId b,
+                       const judgment::ComparisonCache& cache) {
+  const auto* session = cache.FindSession(a, b);
+  if (session != nullptr && session->Finished() &&
+      session->outcome() != crowd::ComparisonOutcome::kTie) {
+    return session->outcome() == crowd::ComparisonOutcome::kLeftWins
+               ? session->left()
+               : session->right();
+  }
+  const double mean = cache.EstimatedMean(a, b);
+  if (mean > 0.0) return a;
+  if (mean < 0.0) return b;
+  return a < b ? a : b;
+}
+
+TournamentRecord TournamentMax(const std::vector<ItemId>& items,
+                               judgment::ComparisonCache* cache,
+                               crowd::CrowdPlatform* platform,
+                               bool charge_platform_rounds) {
+  CROWDTOPK_CHECK(!items.empty());
+  TournamentRecord record;
+  std::vector<ItemId> level = items;
+  const int64_t batch = cache->options().batch_size;
+  while (level.size() > 1) {
+    std::vector<judgment::ComparisonSession*> sessions;
+    sessions.reserve(level.size() / 2);
+    for (size_t p = 0; p + 1 < level.size(); p += 2) {
+      sessions.push_back(cache->GetSession(level[p], level[p + 1]));
+    }
+    // Waves: every unfinished match of this level buys one batch per round.
+    while (true) {
+      bool stepped = false;
+      for (auto* session : sessions) {
+        if (!session->Finished()) {
+          session->Step(platform, batch);
+          stepped = true;
+        }
+      }
+      if (!stepped) break;
+      ++record.rounds;
+      if (charge_platform_rounds) platform->NextRound();
+    }
+    std::vector<ItemId> next;
+    next.reserve(level.size() / 2 + 1);
+    for (size_t p = 0; p + 1 < level.size(); p += 2) {
+      const ItemId winner = PickMatchWinner(level[p], level[p + 1], *cache);
+      const ItemId loser = winner == level[p] ? level[p + 1] : level[p];
+      record.matches.emplace_back(winner, loser);
+      next.push_back(winner);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());  // bye
+    level = std::move(next);
+  }
+  record.winner = level.front();
+  return record;
+}
+
+}  // namespace crowdtopk::core

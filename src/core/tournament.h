@@ -1,0 +1,47 @@
+// Level-parallel single-elimination tournament over confidence-aware
+// comparisons. Shared by SPR's reference sampling (group maxima, Section
+// 5.1) and by the tournament-tree baseline (Section 4.1).
+
+#ifndef CROWDTOPK_CORE_TOURNAMENT_H_
+#define CROWDTOPK_CORE_TOURNAMENT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "crowd/platform.h"
+#include "crowd/types.h"
+#include "judgment/cache.h"
+
+namespace crowdtopk::core {
+
+using crowd::ItemId;
+
+// Decides a finished (or tied) head-to-head from cache state: the confirmed
+// outcome when one exists, otherwise the larger estimated mean (smaller id
+// on a dead-even tie).
+ItemId PickMatchWinner(ItemId a, ItemId b,
+                       const judgment::ComparisonCache& cache);
+
+struct TournamentRecord {
+  ItemId winner = -1;
+  // Every played match as (winner, loser); used by the tournament-tree
+  // baseline to find the items that lost directly to a champion.
+  std::vector<std::pair<ItemId, ItemId>> matches;
+  // Batch rounds the tournament needed (each level advances its pairs in
+  // parallel; waves of levels are sequential).
+  int64_t rounds = 0;
+};
+
+// Runs the tournament over `items` (>= 1, distinct ids). If
+// `charge_platform_rounds` is true, each wave advances the platform's round
+// counter; otherwise rounds are only reported in the record (the caller is
+// overlaying several tournaments in parallel).
+TournamentRecord TournamentMax(const std::vector<ItemId>& items,
+                               judgment::ComparisonCache* cache,
+                               crowd::CrowdPlatform* platform,
+                               bool charge_platform_rounds);
+
+}  // namespace crowdtopk::core
+
+#endif  // CROWDTOPK_CORE_TOURNAMENT_H_

@@ -1,0 +1,28 @@
+// LatencyModel: an optional observer that converts the platform's abstract
+// cost/latency events into a richer model (e.g. wall-clock marketplace
+// simulation, crowd/simulator.h). The platform reports every purchase and
+// every batch-round boundary; the model decides what they mean in seconds.
+
+#ifndef CROWDTOPK_CROWD_LATENCY_MODEL_H_
+#define CROWDTOPK_CROWD_LATENCY_MODEL_H_
+
+#include <cstdint>
+
+namespace crowdtopk::crowd {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  // `count` microtasks were just purchased (they belong to the current,
+  // still-open batch round).
+  virtual void OnPurchase(int64_t count) = 0;
+
+  // The current batch round closed: everything purchased since the last
+  // boundary ran in parallel.
+  virtual void OnRoundBoundary() = 0;
+};
+
+}  // namespace crowdtopk::crowd
+
+#endif  // CROWDTOPK_CROWD_LATENCY_MODEL_H_

@@ -1,0 +1,17 @@
+#include "crowd/oracle.h"
+
+namespace crowdtopk::crowd {
+
+double JudgmentOracle::BinaryJudgment(ItemId i, ItemId j,
+                                      util::Rng* rng) const {
+  // Ties are unidentifiable and dropped (Section 3.2); bound the retries so a
+  // degenerate oracle cannot spin forever, breaking the final tie randomly.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = PreferenceJudgment(i, j, rng);
+    if (v > 0.0) return 1.0;
+    if (v < 0.0) return -1.0;
+  }
+  return rng->Bernoulli(0.5) ? 1.0 : -1.0;
+}
+
+}  // namespace crowdtopk::crowd

@@ -1,0 +1,40 @@
+// JudgmentOracle: the source of (simulated) human judgments.
+//
+// A dataset implements this interface; the platform draws judgments through
+// it. Sign convention follows Section 3.1 of the paper: a preference
+// v(o_i, o_j) > 0 means the worker prefers o_i (the left operand), because
+// the preference mean is monotonically increasing in s(o_i) - s(o_j).
+
+#ifndef CROWDTOPK_CROWD_ORACLE_H_
+#define CROWDTOPK_CROWD_ORACLE_H_
+
+#include <cstdint>
+
+#include "crowd/types.h"
+#include "util/random.h"
+
+namespace crowdtopk::crowd {
+
+class JudgmentOracle {
+ public:
+  virtual ~JudgmentOracle() = default;
+
+  // Number of items the oracle can judge.
+  virtual int64_t num_items() const = 0;
+
+  // One pairwise preference judgment v(i, j) in [-1, 1]; positive favours i.
+  virtual double PreferenceJudgment(ItemId i, ItemId j,
+                                    util::Rng* rng) const = 0;
+
+  // One pairwise binary judgment in {-1, +1}. The default derives it from a
+  // preference judgment by taking the sign, re-drawing on exact ties
+  // (matching Section 3.2: tied samples are dropped as unidentifiable).
+  virtual double BinaryJudgment(ItemId i, ItemId j, util::Rng* rng) const;
+
+  // One graded (absolute) judgment of a single item, normalised to [0, 1].
+  virtual double GradedJudgment(ItemId i, util::Rng* rng) const = 0;
+};
+
+}  // namespace crowdtopk::crowd
+
+#endif  // CROWDTOPK_CROWD_ORACLE_H_

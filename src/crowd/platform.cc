@@ -1,0 +1,67 @@
+#include "crowd/platform.h"
+
+#include "util/check.h"
+
+namespace crowdtopk::crowd {
+
+CrowdPlatform::CrowdPlatform(const JudgmentOracle* oracle, uint64_t seed)
+    : oracle_(oracle), rng_(seed) {
+  CROWDTOPK_CHECK(oracle != nullptr);
+}
+
+void CrowdPlatform::CollectPreferences(ItemId i, ItemId j, int64_t count,
+                                       std::vector<double>* out) {
+  CROWDTOPK_CHECK_GE(count, 0);
+  CROWDTOPK_DCHECK(i != j);
+  for (int64_t t = 0; t < count; ++t) {
+    out->push_back(oracle_->PreferenceJudgment(i, j, &rng_));
+  }
+  total_microtasks_ += count;
+  if (latency_model_ != nullptr && count > 0) {
+    latency_model_->OnPurchase(count);
+  }
+}
+
+void CrowdPlatform::CollectBinaryVotes(ItemId i, ItemId j, int64_t count,
+                                       std::vector<double>* out) {
+  CROWDTOPK_CHECK_GE(count, 0);
+  CROWDTOPK_DCHECK(i != j);
+  for (int64_t t = 0; t < count; ++t) {
+    out->push_back(oracle_->BinaryJudgment(i, j, &rng_));
+  }
+  total_microtasks_ += count;
+  if (latency_model_ != nullptr && count > 0) {
+    latency_model_->OnPurchase(count);
+  }
+}
+
+void CrowdPlatform::CollectGrades(ItemId i, int64_t count,
+                                  std::vector<double>* out) {
+  CROWDTOPK_CHECK_GE(count, 0);
+  for (int64_t t = 0; t < count; ++t) {
+    out->push_back(oracle_->GradedJudgment(i, &rng_));
+  }
+  total_microtasks_ += count;
+  if (latency_model_ != nullptr && count > 0) {
+    latency_model_->OnPurchase(count);
+  }
+}
+
+void CrowdPlatform::NextRound() {
+  ++rounds_;
+  if (latency_model_ != nullptr) latency_model_->OnRoundBoundary();
+}
+
+void CrowdPlatform::AccountRounds(int64_t n) {
+  rounds_ += n;
+  if (latency_model_ != nullptr) {
+    for (int64_t r = 0; r < n; ++r) latency_model_->OnRoundBoundary();
+  }
+}
+
+void CrowdPlatform::ResetCounters() {
+  total_microtasks_ = 0;
+  rounds_ = 0;
+}
+
+}  // namespace crowdtopk::crowd

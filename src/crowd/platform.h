@@ -1,0 +1,79 @@
+// CrowdPlatform: the simulated crowdsourcing marketplace.
+//
+// Every microtask purchased through the platform increments the total
+// monetary cost (TMC, Section 4: unit cost per microtask). Latency is
+// measured in *batch rounds* (Section 5.5): within one round, all independent
+// comparisons may advance in parallel by up to eta microtasks each; the
+// algorithm driving the platform marks round boundaries with NextRound().
+
+#ifndef CROWDTOPK_CROWD_PLATFORM_H_
+#define CROWDTOPK_CROWD_PLATFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/latency_model.h"
+#include "crowd/oracle.h"
+#include "crowd/types.h"
+#include "util/random.h"
+
+namespace crowdtopk::crowd {
+
+class CrowdPlatform {
+ public:
+  // `oracle` must outlive the platform. `seed` drives all judgment sampling.
+  CrowdPlatform(const JudgmentOracle* oracle, uint64_t seed);
+
+  CrowdPlatform(const CrowdPlatform&) = delete;
+  CrowdPlatform& operator=(const CrowdPlatform&) = delete;
+
+  const JudgmentOracle& oracle() const { return *oracle_; }
+  int64_t num_items() const { return oracle_->num_items(); }
+
+  // Buys `count` preference judgments for the pair (i, j), appending them to
+  // *out. Each judgment costs one microtask.
+  void CollectPreferences(ItemId i, ItemId j, int64_t count,
+                          std::vector<double>* out);
+
+  // Buys `count` binary judgments in {-1, +1}.
+  void CollectBinaryVotes(ItemId i, ItemId j, int64_t count,
+                          std::vector<double>* out);
+
+  // Buys `count` graded judgments of item i in [0, 1].
+  void CollectGrades(ItemId i, int64_t count, std::vector<double>* out);
+
+  // Marks the end of one batch round: everything purchased since the last
+  // call is considered to have been outsourced in parallel.
+  void NextRound();
+
+  // Accounts `n` additional rounds at once (for sequential sub-phases whose
+  // round count is known in closed form).
+  void AccountRounds(int64_t n);
+
+  // Attaches an observer translating purchases/rounds into a richer latency
+  // model (e.g. the wall-clock marketplace simulator). May be nullptr to
+  // detach; must outlive the platform while attached.
+  void SetLatencyModel(LatencyModel* model) { latency_model_ = model; }
+
+  // Total microtasks purchased so far (the paper's TMC).
+  int64_t total_microtasks() const { return total_microtasks_; }
+
+  // Batch rounds elapsed (the paper's query latency).
+  int64_t rounds() const { return rounds_; }
+
+  // Resets cost and latency counters (not the RNG stream).
+  void ResetCounters();
+
+  util::Rng* rng() { return &rng_; }
+
+ private:
+  const JudgmentOracle* oracle_;
+  util::Rng rng_;
+  LatencyModel* latency_model_ = nullptr;
+  int64_t total_microtasks_ = 0;
+  int64_t rounds_ = 0;
+};
+
+}  // namespace crowdtopk::crowd
+
+#endif  // CROWDTOPK_CROWD_PLATFORM_H_

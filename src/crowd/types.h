@@ -1,0 +1,42 @@
+// Basic vocabulary types for the crowdsourcing layer.
+
+#ifndef CROWDTOPK_CROWD_TYPES_H_
+#define CROWDTOPK_CROWD_TYPES_H_
+
+#include <cstdint>
+
+namespace crowdtopk::crowd {
+
+// Identifies an item within a dataset; items are dense indices [0, N).
+using ItemId = int32_t;
+
+// The three judgment models compared in Section 3 / Table 1.
+enum class JudgmentModel {
+  kPreference,  // signed strength in [-1, 1] for a pair (our model)
+  kBinary,      // vote in {-1, +1} for a pair (Busa-Fekete et al.)
+  kGraded,      // absolute rating of a single item (Likert-style)
+};
+
+// Outcome of a pairwise comparison process COMP(o_i, o_j).
+enum class ComparisonOutcome {
+  kLeftWins,    // o_i  >  o_j at the requested confidence
+  kRightWins,   // o_i  <  o_j at the requested confidence
+  kTie,         // indistinguishable within the per-pair budget B
+};
+
+// Flips the outcome as if the operands were swapped.
+inline ComparisonOutcome Reverse(ComparisonOutcome outcome) {
+  switch (outcome) {
+    case ComparisonOutcome::kLeftWins:
+      return ComparisonOutcome::kRightWins;
+    case ComparisonOutcome::kRightWins:
+      return ComparisonOutcome::kLeftWins;
+    case ComparisonOutcome::kTie:
+      return ComparisonOutcome::kTie;
+  }
+  return ComparisonOutcome::kTie;
+}
+
+}  // namespace crowdtopk::crowd
+
+#endif  // CROWDTOPK_CROWD_TYPES_H_

@@ -1,0 +1,71 @@
+#include "crowd/workers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace crowdtopk::crowd {
+
+WorkerPoolOracle::WorkerPoolOracle(const JudgmentOracle* base,
+                                   WorkerPoolOptions options, uint64_t seed)
+    : base_(base) {
+  CROWDTOPK_CHECK(base != nullptr);
+  CROWDTOPK_CHECK_GE(options.num_workers, 1);
+  CROWDTOPK_CHECK_GE(options.scale_spread, 1.0);
+  CROWDTOPK_CHECK(options.spammer_fraction >= 0.0 &&
+                  options.spammer_fraction <= 1.0);
+  util::Rng rng(seed ^ 0x3083e25ULL);
+  workers_.reserve(options.num_workers);
+  const int64_t num_spammers = static_cast<int64_t>(
+      std::llround(options.spammer_fraction *
+                   static_cast<double>(options.num_workers)));
+  for (int64_t w = 0; w < options.num_workers; ++w) {
+    WorkerProfile profile;
+    if (w < num_spammers) {
+      profile.spam_rate = 1.0;
+    } else {
+      const double log_spread = std::log(options.scale_spread);
+      profile.scale = std::exp(rng.Uniform(-log_spread, log_spread));
+      profile.bias = rng.Gaussian(0.0, options.bias_stddev);
+      profile.noise = rng.Uniform(0.0, options.max_noise);
+    }
+    workers_.push_back(profile);
+  }
+  rng.Shuffle(&workers_);
+}
+
+WorkerPoolOracle::WorkerPoolOracle(const JudgmentOracle* base,
+                                   std::vector<WorkerProfile> workers)
+    : base_(base), workers_(std::move(workers)) {
+  CROWDTOPK_CHECK(base != nullptr);
+  CROWDTOPK_CHECK(!workers_.empty());
+}
+
+double WorkerPoolOracle::PreferenceJudgment(ItemId i, ItemId j,
+                                            util::Rng* rng) const {
+  const WorkerProfile& worker =
+      workers_[rng->UniformInt(static_cast<int64_t>(workers_.size()))];
+  if (worker.spam_rate > 0.0 && rng->Bernoulli(worker.spam_rate)) {
+    return rng->Uniform(-1.0, 1.0);
+  }
+  double v = base_->PreferenceJudgment(i, j, rng);
+  v = worker.scale * v + worker.bias;
+  if (worker.noise > 0.0) v += rng->Gaussian(0.0, worker.noise);
+  return std::clamp(v, -1.0, 1.0);
+}
+
+double WorkerPoolOracle::GradedJudgment(ItemId i, util::Rng* rng) const {
+  const WorkerProfile& worker =
+      workers_[rng->UniformInt(static_cast<int64_t>(workers_.size()))];
+  if (worker.spam_rate > 0.0 && rng->Bernoulli(worker.spam_rate)) {
+    return rng->Uniform(0.0, 1.0);
+  }
+  double g = base_->GradedJudgment(i, rng);
+  // Scale around the neutral grade 0.5; bias and noise act directly.
+  g = 0.5 + worker.scale * (g - 0.5) + worker.bias;
+  if (worker.noise > 0.0) g += rng->Gaussian(0.0, worker.noise);
+  return std::clamp(g, 0.0, 1.0);
+}
+
+}  // namespace crowdtopk::crowd

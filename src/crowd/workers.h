@@ -1,0 +1,82 @@
+// Worker-quality models: a decorator that filters any oracle's judgments
+// through a simulated worker population.
+//
+// The paper assumes i.i.d. judgments and leaves worker quality to future
+// work ("a high quality worker should have a consistent personal standard",
+// Section 4); related systems (iCrowd [17], CrowdBT [9]) model it
+// explicitly. WorkerPoolOracle makes the assumption testable: every judgment
+// is routed through a random worker who distorts it with a personal scale,
+// bias, extra noise, or -- for spammers -- replaces it with garbage.
+// The ablation bench `ablation_worker_quality` measures how much distortion
+// the confidence-aware comparison process absorbs before accuracy degrades.
+
+#ifndef CROWDTOPK_CROWD_WORKERS_H_
+#define CROWDTOPK_CROWD_WORKERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/oracle.h"
+#include "crowd/types.h"
+#include "util/random.h"
+
+namespace crowdtopk::crowd {
+
+// One simulated worker's response profile.
+struct WorkerProfile {
+  // Multiplies the underlying preference (0.5 = timid, 2 = emphatic).
+  double scale = 1.0;
+  // Added to every preference (systematic lean toward the left item).
+  double bias = 0.0;
+  // Stddev of extra zero-mean Gaussian noise on each judgment.
+  double noise = 0.0;
+  // With this probability the worker answers uniformly at random in [-1, 1]
+  // (a spammer click).
+  double spam_rate = 0.0;
+};
+
+// Parameters for generating a worker population.
+struct WorkerPoolOptions {
+  int64_t num_workers = 200;
+  // Worker scales are drawn log-uniformly in [1/scale_spread, scale_spread].
+  double scale_spread = 1.5;
+  // Worker biases ~ N(0, bias_stddev).
+  double bias_stddev = 0.0;
+  // Worker noise levels are drawn uniformly in [0, max_noise].
+  double max_noise = 0.0;
+  // Fraction of the pool that are spammers (spam_rate = 1 for them).
+  double spammer_fraction = 0.0;
+};
+
+// Wraps a base oracle: every judgment is answered by a uniformly random
+// worker from a fixed pool, applying her profile to the base judgment.
+// Binary judgments take the sign of the distorted preference; grades are
+// distorted on the [0, 1] scale with the same noise/spam profile.
+class WorkerPoolOracle : public JudgmentOracle {
+ public:
+  // `base` must outlive this oracle. The pool is generated from `seed`.
+  WorkerPoolOracle(const JudgmentOracle* base, WorkerPoolOptions options,
+                   uint64_t seed);
+
+  // Direct construction from explicit profiles (tests).
+  WorkerPoolOracle(const JudgmentOracle* base,
+                   std::vector<WorkerProfile> workers);
+
+  int64_t num_items() const override { return base_->num_items(); }
+  int64_t num_workers() const {
+    return static_cast<int64_t>(workers_.size());
+  }
+  const WorkerProfile& worker(int64_t w) const { return workers_[w]; }
+
+  double PreferenceJudgment(ItemId i, ItemId j,
+                            util::Rng* rng) const override;
+  double GradedJudgment(ItemId i, util::Rng* rng) const override;
+
+ private:
+  const JudgmentOracle* base_;
+  std::vector<WorkerProfile> workers_;
+};
+
+}  // namespace crowdtopk::crowd
+
+#endif  // CROWDTOPK_CROWD_WORKERS_H_

@@ -1,0 +1,42 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace crowdtopk::data {
+
+Dataset::Dataset(std::string name, std::vector<double> true_scores)
+    : name_(std::move(name)), true_scores_(std::move(true_scores)) {
+  RebuildOrder();
+}
+
+void Dataset::SetTrueScores(std::vector<double> true_scores) {
+  true_scores_ = std::move(true_scores);
+  RebuildOrder();
+}
+
+void Dataset::RebuildOrder() {
+  const int64_t n = static_cast<int64_t>(true_scores_.size());
+  true_order_.resize(n);
+  std::iota(true_order_.begin(), true_order_.end(), 0);
+  std::stable_sort(true_order_.begin(), true_order_.end(),
+                   [&](ItemId a, ItemId b) {
+                     if (true_scores_[a] != true_scores_[b]) {
+                       return true_scores_[a] > true_scores_[b];
+                     }
+                     return a < b;
+                   });
+  true_rank_.assign(n, 0);
+  for (int64_t pos = 0; pos < n; ++pos) {
+    true_rank_[true_order_[pos]] = pos + 1;
+  }
+}
+
+std::vector<ItemId> Dataset::TrueTopK(int64_t k) const {
+  CROWDTOPK_CHECK(k >= 0 && k <= num_items());
+  return std::vector<ItemId>(true_order_.begin(), true_order_.begin() + k);
+}
+
+}  // namespace crowdtopk::data

@@ -1,0 +1,68 @@
+// Dataset: a judgment oracle with a known ground-truth total order.
+//
+// All four evaluation datasets of the paper (IMDb, Book, Jester, Photo) plus
+// the interactive PeopleAge set are modelled as Datasets: they answer
+// simulated judgments AND expose the ground truth Omega used to score
+// accuracy (the algorithms never see the ground truth).
+
+#ifndef CROWDTOPK_DATA_DATASET_H_
+#define CROWDTOPK_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crowd/oracle.h"
+#include "crowd/types.h"
+
+namespace crowdtopk::data {
+
+using crowd::ItemId;
+
+class Dataset : public crowd::JudgmentOracle {
+ public:
+  Dataset(std::string name, std::vector<double> true_scores);
+
+  const std::string& name() const { return name_; }
+  int64_t num_items() const override {
+    return static_cast<int64_t>(true_scores_.size());
+  }
+
+  // Ground-truth score of an item (higher is better).
+  double TrueScore(ItemId i) const { return true_scores_[i]; }
+
+  // Ground-truth total order Omega, best item first. Deterministic: score
+  // ties are broken by item id.
+  const std::vector<ItemId>& TrueOrder() const { return true_order_; }
+
+  // 1-based rank of item i in Omega (1 = best).
+  int64_t TrueRank(ItemId i) const { return true_rank_[i]; }
+
+  // The ids of the true top-k items, best first.
+  std::vector<ItemId> TrueTopK(int64_t k) const;
+
+  // True iff s(i) > s(j) in the ground truth (rank comparison).
+  bool TrueBetter(ItemId i, ItemId j) const {
+    return true_rank_[i] < true_rank_[j];
+  }
+
+  // Restriction helper: a view over the first `n` items *of the ground-truth
+  // shuffle order* is not provided here; benches subsample by constructing
+  // datasets of the right size instead (see generators.h).
+
+ protected:
+  // Subclasses may call this if they compute true scores after construction.
+  void SetTrueScores(std::vector<double> true_scores);
+
+ private:
+  void RebuildOrder();
+
+  std::string name_;
+  std::vector<double> true_scores_;
+  std::vector<ItemId> true_order_;
+  std::vector<int64_t> true_rank_;
+};
+
+}  // namespace crowdtopk::data
+
+#endif  // CROWDTOPK_DATA_DATASET_H_

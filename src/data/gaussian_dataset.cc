@@ -1,0 +1,34 @@
+#include "data/gaussian_dataset.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace crowdtopk::data {
+
+GaussianDataset::GaussianDataset(std::string name,
+                                 std::vector<double> true_scores,
+                                 double noise_stddev, double score_scale)
+    : Dataset(std::move(name), std::move(true_scores)),
+      noise_stddev_(noise_stddev),
+      score_scale_(score_scale) {
+  CROWDTOPK_CHECK_GE(noise_stddev, 0.0);
+  CROWDTOPK_CHECK_GT(score_scale, 0.0);
+  score_min_ = TrueScore(TrueOrder().back());
+  score_max_ = TrueScore(TrueOrder().front());
+}
+
+double GaussianDataset::PreferenceJudgment(ItemId i, ItemId j,
+                                           util::Rng* rng) const {
+  const double raw =
+      TrueScore(i) - TrueScore(j) + rng->Gaussian(0.0, noise_stddev_);
+  return std::clamp(raw / score_scale_, -1.0, 1.0);
+}
+
+double GaussianDataset::GradedJudgment(ItemId i, util::Rng* rng) const {
+  const double range = std::max(score_max_ - score_min_, 1e-12);
+  const double raw = TrueScore(i) + rng->Gaussian(0.0, noise_stddev_);
+  return std::clamp((raw - score_min_) / range, 0.0, 1.0);
+}
+
+}  // namespace crowdtopk::data

@@ -1,0 +1,45 @@
+// GaussianDataset: latent scores with Gaussian preference noise.
+//
+// The simplest oracle matching the paper's modelling assumption
+// (Section 3.1): v(o_i, o_j) ~ N(mu_ij, sigma^2) with mu_ij proportional to
+// s(o_i) - s(o_j). Used for the PeopleAge interactive experiment (latent
+// score = youth) and heavily in unit/property tests, where exact control of
+// the preference distribution is needed.
+
+#ifndef CROWDTOPK_DATA_GAUSSIAN_DATASET_H_
+#define CROWDTOPK_DATA_GAUSSIAN_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdtopk::data {
+
+class GaussianDataset : public Dataset {
+ public:
+  // true_scores: latent item scores (any real scale).
+  // noise_stddev: std-dev of a single preference judgment, on the *score*
+  //   scale, before normalisation.
+  // score_scale: preferences are (s_i - s_j + noise) / score_scale, clamped
+  //   to [-1, 1]; choose score_scale >= max score gap so clamping is rare.
+  GaussianDataset(std::string name, std::vector<double> true_scores,
+                  double noise_stddev, double score_scale);
+
+  double noise_stddev() const { return noise_stddev_; }
+
+  double PreferenceJudgment(ItemId i, ItemId j,
+                            util::Rng* rng) const override;
+
+  double GradedJudgment(ItemId i, util::Rng* rng) const override;
+
+ private:
+  double noise_stddev_;
+  double score_scale_;
+  double score_min_;
+  double score_max_;
+};
+
+}  // namespace crowdtopk::data
+
+#endif  // CROWDTOPK_DATA_GAUSSIAN_DATASET_H_

@@ -1,0 +1,85 @@
+#include "data/histogram_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace crowdtopk::data {
+
+double VoteHistogram::Mean(const std::vector<double>& bin_values) const {
+  CROWDTOPK_CHECK_EQ(counts.size(), bin_values.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    weighted += counts[b] * bin_values[b];
+    total += counts[b];
+  }
+  CROWDTOPK_CHECK_GT(total, 0.0);
+  return weighted / total;
+}
+
+double WeightedRank(double mean, double votes, double k_constant,
+                    double c_constant) {
+  if (k_constant <= 0.0) return mean;
+  return votes / (votes + k_constant) * mean +
+         k_constant / (votes + k_constant) * c_constant;
+}
+
+HistogramDataset::HistogramDataset(std::string name,
+                                   std::vector<VoteHistogram> histograms,
+                                   Options options)
+    : Dataset(std::move(name), {}),
+      histograms_(std::move(histograms)),
+      options_(std::move(options)) {
+  CROWDTOPK_CHECK(!histograms_.empty());
+  CROWDTOPK_CHECK_GE(options_.bin_values.size(), 2u);
+  rating_min_ = options_.bin_values.front();
+  rating_range_ = options_.bin_values.back() - options_.bin_values.front();
+  CROWDTOPK_CHECK_GT(rating_range_, 0.0);
+
+  std::vector<double> scores;
+  scores.reserve(histograms_.size());
+  cumulative_.reserve(histograms_.size());
+  for (auto& histogram : histograms_) {
+    CROWDTOPK_CHECK_EQ(histogram.counts.size(), options_.bin_values.size());
+    double total = 0.0;
+    std::vector<double> cumulative(histogram.counts.size());
+    for (size_t b = 0; b < histogram.counts.size(); ++b) {
+      CROWDTOPK_CHECK_GE(histogram.counts[b], 0.0);
+      total += histogram.counts[b];
+      cumulative[b] = total;
+    }
+    CROWDTOPK_CHECK_GT(total, 0.0);
+    for (double& c : cumulative) c /= total;
+    cumulative_.push_back(std::move(cumulative));
+    histogram.total_votes = total;
+    const double mean = histogram.Mean(options_.bin_values);
+    scores.push_back(WeightedRank(mean, total, options_.k_constant,
+                                  options_.c_constant));
+  }
+  SetTrueScores(std::move(scores));
+}
+
+double HistogramDataset::SampleRating(ItemId i, util::Rng* rng) const {
+  const std::vector<double>& cumulative = cumulative_[i];
+  const double u = rng->Uniform();
+  const auto it =
+      std::lower_bound(cumulative.begin(), cumulative.end(), u);
+  const size_t bin = std::min<size_t>(
+      static_cast<size_t>(it - cumulative.begin()), cumulative.size() - 1);
+  return options_.bin_values[bin];
+}
+
+double HistogramDataset::PreferenceJudgment(ItemId i, ItemId j,
+                                            util::Rng* rng) const {
+  const double si = SampleRating(i, rng);
+  const double sj = SampleRating(j, rng);
+  return (si - sj) / rating_range_;
+}
+
+double HistogramDataset::GradedJudgment(ItemId i, util::Rng* rng) const {
+  return (SampleRating(i, rng) - rating_min_) / rating_range_;
+}
+
+}  // namespace crowdtopk::data

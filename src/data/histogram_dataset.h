@@ -1,0 +1,73 @@
+// HistogramDataset: items carry discrete rating histograms (IMDb/Book style).
+//
+// Mirrors the paper's simulation protocol for IMDb and Book (Section 6.1):
+// a preference judgment for (o_i, o_j) samples one rating from each item's
+// voting histogram and returns the normalised difference; the ground truth
+// is the weighted-rank formula applied to the histogram mean.
+
+#ifndef CROWDTOPK_DATA_HISTOGRAM_DATASET_H_
+#define CROWDTOPK_DATA_HISTOGRAM_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdtopk::data {
+
+// One item's voting record: a histogram over the rating bins plus the total
+// vote count (used by the weighted-rank ground truth).
+struct VoteHistogram {
+  // counts[b] = number of votes with rating value bin_values[b].
+  std::vector<double> counts;
+  // Total number of votes (sum of counts; cached).
+  double total_votes = 0.0;
+
+  double Mean(const std::vector<double>& bin_values) const;
+};
+
+// IMDb's weighted-rank: (v/(v+K)) * mu + (K/(v+K)) * C.
+double WeightedRank(double mean, double votes, double k_constant,
+                    double c_constant);
+
+class HistogramDataset : public Dataset {
+ public:
+  struct Options {
+    // Rating values of the histogram bins, ascending (e.g. 1..10 for IMDb).
+    std::vector<double> bin_values;
+    // Weighted-rank constants; votes-weighted mean when k_constant == 0.
+    double k_constant = 0.0;
+    double c_constant = 0.0;
+  };
+
+  HistogramDataset(std::string name, std::vector<VoteHistogram> histograms,
+                   Options options);
+
+  const std::vector<double>& bin_values() const {
+    return options_.bin_values;
+  }
+  const VoteHistogram& histogram(ItemId i) const { return histograms_[i]; }
+
+  // Samples one rating for item i from its histogram (a bin value).
+  double SampleRating(ItemId i, util::Rng* rng) const;
+
+  // v(i, j) = (rating_i - rating_j) / rating_range, in [-1, 1].
+  double PreferenceJudgment(ItemId i, ItemId j,
+                            util::Rng* rng) const override;
+
+  // A single sampled rating normalised to [0, 1].
+  double GradedJudgment(ItemId i, util::Rng* rng) const override;
+
+ private:
+  std::vector<VoteHistogram> histograms_;
+  Options options_;
+  double rating_range_;
+  double rating_min_;
+  // Per-item cumulative bin probabilities for O(log bins) sampling.
+  std::vector<std::vector<double>> cumulative_;
+};
+
+}  // namespace crowdtopk::data
+
+#endif  // CROWDTOPK_DATA_HISTOGRAM_DATASET_H_

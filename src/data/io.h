@@ -1,0 +1,62 @@
+// Dataset (de)serialisation: CSV import/export.
+//
+// Lets downstream users run the library on their own data without writing
+// C++: a rating-histogram CSV becomes a HistogramDataset (IMDb/Book style),
+// and a pairwise judgment log becomes a PairRecordDataset (Photo style).
+// Generated datasets can be exported in the same formats for inspection or
+// plotting.
+//
+// Formats (header row required, '#' lines ignored):
+//
+//   Histograms:  item_id,votes_bin1,votes_bin2,...,votes_binB
+//     bin values are supplied separately (e.g. 1..10); item ids must be the
+//     dense range 0..N-1 in any order.
+//
+//   Pairwise log: left_id,right_id,preference
+//     preference in [-1, 1], positive favours left_id. Every unordered pair
+//     must occur at least once. True scores (for evaluation only) can be
+//     loaded from an optional  item_id,score  file.
+
+#ifndef CROWDTOPK_DATA_IO_H_
+#define CROWDTOPK_DATA_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/histogram_dataset.h"
+#include "data/pair_record_dataset.h"
+#include "util/status.h"
+
+namespace crowdtopk::data {
+
+// Writes the dataset's histograms as CSV. Returns an error on I/O failure.
+util::Status SaveHistogramCsv(const HistogramDataset& dataset,
+                              const std::string& path);
+
+// Loads a histogram CSV (see format above).
+util::StatusOr<std::unique_ptr<HistogramDataset>> LoadHistogramCsv(
+    const std::string& path, std::string dataset_name,
+    HistogramDataset::Options options);
+
+// Writes `item_id,score` rows of the ground truth.
+util::Status SaveScoresCsv(const Dataset& dataset, const std::string& path);
+
+// Loads `item_id,score` rows; result[i] = score of item i. Ids must cover
+// 0..N-1 exactly once.
+util::StatusOr<std::vector<double>> LoadScoresCsv(const std::string& path);
+
+// Writes every stored pairwise record as `left_id,right_id,preference`.
+util::Status SavePairwiseCsv(const PairRecordDataset& dataset,
+                             const std::string& path);
+
+// Loads a pairwise judgment log. `true_scores` supplies the evaluation
+// ground truth (its size fixes N). Fails if any unordered pair has no
+// records or any id is out of range.
+util::StatusOr<std::unique_ptr<PairRecordDataset>> LoadPairwiseCsv(
+    const std::string& path, std::string dataset_name,
+    std::vector<double> true_scores);
+
+}  // namespace crowdtopk::data
+
+#endif  // CROWDTOPK_DATA_IO_H_

@@ -1,0 +1,58 @@
+#include "data/pair_record_dataset.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace crowdtopk::data {
+
+PairRecordDataset::PairRecordDataset(
+    std::string name, std::vector<double> true_scores,
+    std::vector<std::vector<std::vector<double>>> records,
+    std::vector<std::vector<double>> graded)
+    : Dataset(std::move(name), std::move(true_scores)),
+      records_(std::move(records)),
+      graded_(std::move(graded)) {
+  const int64_t n = num_items();
+  CROWDTOPK_CHECK_EQ(static_cast<int64_t>(records_.size()), n);
+  for (int64_t i = 0; i < n; ++i) {
+    CROWDTOPK_CHECK_EQ(static_cast<int64_t>(records_[i].size()), n - i - 1);
+    for (const auto& bag : records_[i]) {
+      CROWDTOPK_CHECK(!bag.empty());
+    }
+  }
+  if (!graded_.empty()) {
+    CROWDTOPK_CHECK_EQ(static_cast<int64_t>(graded_.size()), n);
+  }
+}
+
+int64_t PairRecordDataset::NumRecords(ItemId i, ItemId j) const {
+  return static_cast<int64_t>(RecordsFor(i, j).size());
+}
+
+const std::vector<double>& PairRecordDataset::RecordsFor(ItemId i,
+                                                         ItemId j) const {
+  CROWDTOPK_CHECK_NE(i, j);
+  const ItemId lo = i < j ? i : j;
+  const ItemId hi = i < j ? j : i;
+  return records_[lo][hi - lo - 1];
+}
+
+double PairRecordDataset::PreferenceJudgment(ItemId i, ItemId j,
+                                             util::Rng* rng) const {
+  CROWDTOPK_CHECK_NE(i, j);
+  const ItemId lo = i < j ? i : j;
+  const ItemId hi = i < j ? j : i;
+  const auto& bag = records_[lo][hi - lo - 1];
+  const double v = bag[rng->UniformInt(static_cast<int64_t>(bag.size()))];
+  return i < j ? v : -v;
+}
+
+double PairRecordDataset::GradedJudgment(ItemId i, util::Rng* rng) const {
+  CROWDTOPK_CHECK(!graded_.empty());
+  const auto& bag = graded_[i];
+  CROWDTOPK_CHECK(!bag.empty());
+  return bag[rng->UniformInt(static_cast<int64_t>(bag.size()))];
+}
+
+}  // namespace crowdtopk::data

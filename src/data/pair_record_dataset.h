@@ -1,0 +1,49 @@
+// PairRecordDataset: a pre-collected pairwise judgment database (Photo style).
+//
+// Mirrors the paper's Photo protocol (Section 6.1): a judgment database D
+// holds >= 10 Likert-scale records per item pair collected once from a real
+// crowd; simulating a judgment re-samples one stored record of that pair.
+// The ground truth is a latent per-item score supplied by the generator.
+
+#ifndef CROWDTOPK_DATA_PAIR_RECORD_DATASET_H_
+#define CROWDTOPK_DATA_PAIR_RECORD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdtopk::data {
+
+class PairRecordDataset : public Dataset {
+ public:
+  // records must contain, for every unordered pair {i, j} with i < j, at
+  // least one preference value oriented as v(i, j) (positive favours i),
+  // already normalised to [-1, 1]. graded[i] holds absolute grade records
+  // for item i in [0, 1] (may be empty if graded judgments are not needed).
+  PairRecordDataset(std::string name, std::vector<double> true_scores,
+                    std::vector<std::vector<std::vector<double>>> records,
+                    std::vector<std::vector<double>> graded);
+
+  // Number of stored records for the unordered pair {i, j}.
+  int64_t NumRecords(ItemId i, ItemId j) const;
+
+  // The stored records for the unordered pair {i, j}, oriented as
+  // v(min(i,j), max(i,j)). Requires i != j.
+  const std::vector<double>& RecordsFor(ItemId i, ItemId j) const;
+
+  double PreferenceJudgment(ItemId i, ItemId j,
+                            util::Rng* rng) const override;
+
+  double GradedJudgment(ItemId i, util::Rng* rng) const override;
+
+ private:
+  // records_[i][j - i - 1] = records for pair {i, j}, i < j.
+  std::vector<std::vector<std::vector<double>>> records_;
+  std::vector<std::vector<double>> graded_;
+};
+
+}  // namespace crowdtopk::data
+
+#endif  // CROWDTOPK_DATA_PAIR_RECORD_DATASET_H_

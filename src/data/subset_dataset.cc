@@ -1,0 +1,53 @@
+#include "data/subset_dataset.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace crowdtopk::data {
+
+namespace {
+std::vector<double> SubsetScores(const Dataset* parent,
+                                 const std::vector<ItemId>& parent_ids) {
+  CROWDTOPK_CHECK(parent != nullptr);
+  std::vector<double> scores;
+  scores.reserve(parent_ids.size());
+  for (ItemId id : parent_ids) {
+    CROWDTOPK_CHECK(id >= 0 && id < parent->num_items());
+    scores.push_back(parent->TrueScore(id));
+  }
+  return scores;
+}
+}  // namespace
+
+SubsetDataset::SubsetDataset(const Dataset* parent,
+                             std::vector<ItemId> parent_ids)
+    : Dataset(parent->name() + "-subset", SubsetScores(parent, parent_ids)),
+      parent_(parent),
+      parent_ids_(std::move(parent_ids)) {}
+
+double SubsetDataset::PreferenceJudgment(ItemId i, ItemId j,
+                                         util::Rng* rng) const {
+  return parent_->PreferenceJudgment(parent_ids_[i], parent_ids_[j], rng);
+}
+
+double SubsetDataset::BinaryJudgment(ItemId i, ItemId j,
+                                     util::Rng* rng) const {
+  return parent_->BinaryJudgment(parent_ids_[i], parent_ids_[j], rng);
+}
+
+double SubsetDataset::GradedJudgment(ItemId i, util::Rng* rng) const {
+  return parent_->GradedJudgment(parent_ids_[i], rng);
+}
+
+std::unique_ptr<SubsetDataset> RandomSubset(const Dataset* parent, int64_t n,
+                                            util::Rng* rng) {
+  CROWDTOPK_CHECK(n >= 1 && n <= parent->num_items());
+  std::vector<ItemId> all(parent->num_items());
+  std::iota(all.begin(), all.end(), 0);
+  rng->Shuffle(&all);
+  all.resize(n);
+  return std::make_unique<SubsetDataset>(parent, std::move(all));
+}
+
+}  // namespace crowdtopk::data

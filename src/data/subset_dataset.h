@@ -1,0 +1,42 @@
+// SubsetDataset: a view over a subset of another dataset's items.
+//
+// The scalability experiments (Fig. 9, "effect of item cardinality") run the
+// algorithms on N-item random subsets of each dataset; SubsetDataset remaps
+// dense local ids onto the parent's ids and delegates all judgments.
+
+#ifndef CROWDTOPK_DATA_SUBSET_DATASET_H_
+#define CROWDTOPK_DATA_SUBSET_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdtopk::data {
+
+class SubsetDataset : public Dataset {
+ public:
+  // `parent` must outlive the subset. `parent_ids` lists the retained items;
+  // local item `i` maps to parent_ids[i]. Ids must be distinct and valid.
+  SubsetDataset(const Dataset* parent, std::vector<ItemId> parent_ids);
+
+  ItemId ToParentId(ItemId local) const { return parent_ids_[local]; }
+
+  double PreferenceJudgment(ItemId i, ItemId j,
+                            util::Rng* rng) const override;
+  double BinaryJudgment(ItemId i, ItemId j, util::Rng* rng) const override;
+  double GradedJudgment(ItemId i, util::Rng* rng) const override;
+
+ private:
+  const Dataset* parent_;
+  std::vector<ItemId> parent_ids_;
+};
+
+// Convenience: a subset of `n` items drawn uniformly without replacement.
+std::unique_ptr<SubsetDataset> RandomSubset(const Dataset* parent, int64_t n,
+                                            util::Rng* rng);
+
+}  // namespace crowdtopk::data
+
+#endif  // CROWDTOPK_DATA_SUBSET_DATASET_H_

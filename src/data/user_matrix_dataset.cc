@@ -1,0 +1,41 @@
+#include "data/user_matrix_dataset.h"
+
+#include "util/check.h"
+
+namespace crowdtopk::data {
+
+UserMatrixDataset::UserMatrixDataset(
+    std::string name, std::vector<std::vector<double>> ratings,
+    double rating_min, double rating_max)
+    : Dataset(std::move(name), {}),
+      ratings_(std::move(ratings)),
+      rating_min_(rating_min),
+      rating_range_(rating_max - rating_min) {
+  CROWDTOPK_CHECK(!ratings_.empty());
+  CROWDTOPK_CHECK_GT(rating_range_, 0.0);
+  const size_t num_items = ratings_.front().size();
+  CROWDTOPK_CHECK_GT(num_items, 0u);
+  std::vector<double> sums(num_items, 0.0);
+  for (const auto& row : ratings_) {
+    CROWDTOPK_CHECK_EQ(row.size(), num_items);
+    for (size_t i = 0; i < num_items; ++i) {
+      CROWDTOPK_DCHECK(row[i] >= rating_min && row[i] <= rating_max);
+      sums[i] += row[i];
+    }
+  }
+  for (double& s : sums) s /= static_cast<double>(ratings_.size());
+  SetTrueScores(std::move(sums));
+}
+
+double UserMatrixDataset::PreferenceJudgment(ItemId i, ItemId j,
+                                             util::Rng* rng) const {
+  const auto& user = ratings_[rng->UniformInt(num_users())];
+  return (user[i] - user[j]) / rating_range_;
+}
+
+double UserMatrixDataset::GradedJudgment(ItemId i, util::Rng* rng) const {
+  const auto& user = ratings_[rng->UniformInt(num_users())];
+  return (user[i] - rating_min_) / rating_range_;
+}
+
+}  // namespace crowdtopk::data

@@ -1,0 +1,45 @@
+// UserMatrixDataset: a dense user x item rating matrix (Jester style).
+//
+// Mirrors the paper's Jester protocol (Section 6.1): a preference judgment
+// picks one random user and differences her ratings of the two items, so
+// both scores in a judgment come from the same (simulated) worker and any
+// per-worker bias cancels. The ground truth is the per-item mean rating.
+
+#ifndef CROWDTOPK_DATA_USER_MATRIX_DATASET_H_
+#define CROWDTOPK_DATA_USER_MATRIX_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdtopk::data {
+
+class UserMatrixDataset : public Dataset {
+ public:
+  // ratings[u][i] = rating of item i by user u, within
+  // [rating_min, rating_max]. Every user rated every item (Jester's
+  // filtering criterion: "users voted all the jokes").
+  UserMatrixDataset(std::string name,
+                    std::vector<std::vector<double>> ratings,
+                    double rating_min, double rating_max);
+
+  int64_t num_users() const {
+    return static_cast<int64_t>(ratings_.size());
+  }
+
+  double PreferenceJudgment(ItemId i, ItemId j,
+                            util::Rng* rng) const override;
+
+  double GradedJudgment(ItemId i, util::Rng* rng) const override;
+
+ private:
+  std::vector<std::vector<double>> ratings_;
+  double rating_min_;
+  double rating_range_;
+};
+
+}  // namespace crowdtopk::data
+
+#endif  // CROWDTOPK_DATA_USER_MATRIX_DATASET_H_

@@ -1,0 +1,70 @@
+#include "judgment/cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace crowdtopk::judgment {
+
+ComparisonCache::ComparisonCache(const ComparisonOptions& options)
+    : options_(options), t_cache_(EffectiveAlpha(options)) {}
+
+ComparisonSession* ComparisonCache::GetSession(ItemId i, ItemId j) {
+  CROWDTOPK_CHECK_NE(i, j);
+  const ItemId lo = std::min(i, j);
+  const ItemId hi = std::max(i, j);
+  auto& slot = sessions_[Key(lo, hi)];
+  if (slot == nullptr) {
+    slot = std::make_unique<ComparisonSession>(lo, hi, &options_, &t_cache_);
+  }
+  return slot.get();
+}
+
+const ComparisonSession* ComparisonCache::FindSession(ItemId i,
+                                                      ItemId j) const {
+  CROWDTOPK_CHECK_NE(i, j);
+  const ItemId lo = std::min(i, j);
+  const ItemId hi = std::max(i, j);
+  const auto it = sessions_.find(Key(lo, hi));
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+ComparisonOutcome ComparisonCache::Compare(ItemId i, ItemId j,
+                                           crowd::CrowdPlatform* platform) {
+  ComparisonSession* session = GetSession(i, j);
+  ComparisonOutcome outcome = session->Finished()
+                                  ? session->outcome()
+                                  : session->RunToCompletion(platform);
+  if (i != session->left()) outcome = crowd::Reverse(outcome);
+  return outcome;
+}
+
+double ComparisonCache::EstimatedMean(ItemId i, ItemId j) const {
+  const ComparisonSession* session = FindSession(i, j);
+  if (session == nullptr) return 0.0;
+  return i == session->left() ? session->Mean() : -session->Mean();
+}
+
+double ComparisonCache::EstimatedStdDev(ItemId i, ItemId j) const {
+  const ComparisonSession* session = FindSession(i, j);
+  return session == nullptr ? 0.0 : session->StdDev();
+}
+
+int64_t ComparisonCache::Workload(ItemId i, ItemId j) const {
+  const ComparisonSession* session = FindSession(i, j);
+  return session == nullptr ? 0 : session->workload();
+}
+
+bool ComparisonCache::LikelyBetter(ItemId i, ItemId j) const {
+  const ComparisonSession* session = FindSession(i, j);
+  if (session == nullptr) return false;
+  const ComparisonOutcome outcome =
+      i == session->left() ? session->outcome()
+                           : crowd::Reverse(session->outcome());
+  if (session->Finished() && outcome != ComparisonOutcome::kTie) {
+    return outcome == ComparisonOutcome::kLeftWins;
+  }
+  return EstimatedMean(i, j) > 0.0;
+}
+
+}  // namespace crowdtopk::judgment

@@ -1,0 +1,51 @@
+#include "judgment/graded.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace crowdtopk::judgment {
+
+std::vector<double> CollectMeanGrades(const std::vector<crowd::ItemId>& items,
+                                      int64_t workload_per_item,
+                                      int64_t batch_size,
+                                      crowd::CrowdPlatform* platform) {
+  CROWDTOPK_CHECK_GE(workload_per_item, 1);
+  CROWDTOPK_CHECK_GE(batch_size, 1);
+  std::vector<double> sums(items.size(), 0.0);
+  std::vector<double> scratch;
+  int64_t remaining = workload_per_item;
+  while (remaining > 0) {
+    const int64_t batch = std::min(batch_size, remaining);
+    for (size_t index = 0; index < items.size(); ++index) {
+      scratch.clear();
+      platform->CollectGrades(items[index], batch, &scratch);
+      for (double g : scratch) sums[index] += g;
+    }
+    platform->NextRound();
+    remaining -= batch;
+  }
+  for (double& s : sums) s /= static_cast<double>(workload_per_item);
+  return sums;
+}
+
+std::vector<crowd::ItemId> RankByGrades(
+    const std::vector<crowd::ItemId>& items,
+    const std::vector<double>& mean_grades) {
+  CROWDTOPK_CHECK_EQ(items.size(), mean_grades.size());
+  std::vector<size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (mean_grades[a] != mean_grades[b]) {
+      return mean_grades[a] > mean_grades[b];
+    }
+    return items[a] < items[b];
+  });
+  std::vector<crowd::ItemId> ranked;
+  ranked.reserve(items.size());
+  for (size_t index : order) ranked.push_back(items[index]);
+  return ranked;
+}
+
+}  // namespace crowdtopk::judgment

@@ -1,0 +1,34 @@
+// Graded (absolute) judgment aggregation.
+//
+// The graded judgment model (Table 1 / Table 3 bottom) rates single items on
+// an absolute scale with a fixed per-item workload; items are then ranked by
+// their mean grade. Used by the Table 3 study and by the Hybrid baselines'
+// filtering phase (Khan & Garcia-Molina [26]).
+
+#ifndef CROWDTOPK_JUDGMENT_GRADED_H_
+#define CROWDTOPK_JUDGMENT_GRADED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/platform.h"
+#include "crowd/types.h"
+
+namespace crowdtopk::judgment {
+
+// Buys `workload_per_item` grades for each item in `items` and returns the
+// per-item mean grades, index-aligned with `items`. Accounts one batch round
+// per ceil(workload / batch_size) wave (all items graded in parallel).
+std::vector<double> CollectMeanGrades(const std::vector<crowd::ItemId>& items,
+                                      int64_t workload_per_item,
+                                      int64_t batch_size,
+                                      crowd::CrowdPlatform* platform);
+
+// Ranks `items` best-first by mean grade (ties broken by item id).
+std::vector<crowd::ItemId> RankByGrades(
+    const std::vector<crowd::ItemId>& items,
+    const std::vector<double>& mean_grades);
+
+}  // namespace crowdtopk::judgment
+
+#endif  // CROWDTOPK_JUDGMENT_GRADED_H_

@@ -1,0 +1,121 @@
+#include "metrics/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace crowdtopk::metrics {
+
+namespace {
+
+double PositionDiscount(int64_t position_1based) {
+  return 1.0 / std::log2(static_cast<double>(position_1based) + 1.0);
+}
+
+// Gain decaying linearly from `zero_rank` (the true best is worth
+// zero_rank - 1... formally max(0, zero_rank - true_rank)).
+double LinearGain(const data::Dataset& dataset, crowd::ItemId item,
+                  int64_t zero_rank) {
+  const int64_t rank = dataset.TrueRank(item);
+  return rank < zero_rank ? static_cast<double>(zero_rank - rank) : 0.0;
+}
+
+double NdcgWithZeroRank(const data::Dataset& dataset,
+                        const std::vector<crowd::ItemId>& ranked, int64_t k,
+                        int64_t zero_rank) {
+  CROWDTOPK_CHECK_GE(k, 1);
+  CROWDTOPK_CHECK_LE(k, dataset.num_items());
+  double dcg = 0.0;
+  const int64_t positions =
+      std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
+  for (int64_t p = 0; p < positions; ++p) {
+    dcg += LinearGain(dataset, ranked[p], zero_rank) * PositionDiscount(p + 1);
+  }
+  // Ideal: the true top-k in order, gains zero_rank - 1 downward.
+  double ideal = 0.0;
+  for (int64_t p = 0; p < k; ++p) {
+    ideal += static_cast<double>(zero_rank - 1 - p) * PositionDiscount(p + 1);
+  }
+  CROWDTOPK_CHECK_GT(ideal, 0.0);
+  return dcg / ideal;
+}
+
+}  // namespace
+
+double Ndcg(const data::Dataset& dataset,
+            const std::vector<crowd::ItemId>& ranked, int64_t k) {
+  return NdcgWithZeroRank(dataset, ranked, k, 2 * k + 1);
+}
+
+double NdcgStrict(const data::Dataset& dataset,
+                  const std::vector<crowd::ItemId>& ranked, int64_t k) {
+  return NdcgWithZeroRank(dataset, ranked, k, k + 1);
+}
+
+double PrecisionAtK(const data::Dataset& dataset,
+                    const std::vector<crowd::ItemId>& ranked, int64_t k) {
+  CROWDTOPK_CHECK_GE(k, 1);
+  const int64_t positions =
+      std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
+  if (positions == 0) return 0.0;
+  int64_t hits = 0;
+  for (int64_t p = 0; p < positions; ++p) {
+    if (dataset.TrueRank(ranked[p]) <= k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const data::Dataset& dataset,
+                 const std::vector<crowd::ItemId>& ranked, int64_t k) {
+  CROWDTOPK_CHECK_GE(k, 1);
+  const int64_t positions =
+      std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
+  int64_t hits = 0;
+  for (int64_t p = 0; p < positions; ++p) {
+    if (dataset.TrueRank(ranked[p]) <= k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double KendallTau(const data::Dataset& dataset,
+                  const std::vector<crowd::ItemId>& ranked) {
+  const int64_t n = static_cast<int64_t>(ranked.size());
+  CROWDTOPK_CHECK_GE(n, 2);
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  for (int64_t a = 0; a < n; ++a) {
+    for (int64_t b = a + 1; b < n; ++b) {
+      // ranked[a] is placed before ranked[b]; concordant iff the ground
+      // truth agrees.
+      if (dataset.TrueBetter(ranked[a], ranked[b])) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return (concordant - discordant) / pairs;
+}
+
+int64_t SpearmanFootrule(const data::Dataset& dataset,
+                         const std::vector<crowd::ItemId>& ranked) {
+  // Rank the same item set by ground truth, then sum position differences.
+  std::vector<crowd::ItemId> truth = ranked;
+  std::sort(truth.begin(), truth.end(),
+            [&](crowd::ItemId a, crowd::ItemId b) {
+              return dataset.TrueRank(a) < dataset.TrueRank(b);
+            });
+  int64_t distance = 0;
+  for (size_t p = 0; p < ranked.size(); ++p) {
+    const auto it = std::find(truth.begin(), truth.end(), ranked[p]);
+    CROWDTOPK_CHECK(it != truth.end());
+    distance += std::llabs(static_cast<long long>(p) -
+                           static_cast<long long>(it - truth.begin()));
+  }
+  return distance;
+}
+
+}  // namespace crowdtopk::metrics

@@ -1,0 +1,56 @@
+// Ranking quality metrics for top-k results.
+//
+// The paper scores results with NDCG [24] (Section 6.2). NDCG needs a graded
+// relevance; we use the linear gain g(o) = max(0, 2k + 1 - true_rank(o)):
+// the true best item is worth 2k, the true k-th item k + 1, decaying to zero
+// at rank 2k, with the standard log2 position discount. The linear decay
+// past rank k gives partial credit for near-misses -- in crowdsourced data
+// the items straddling the top-k boundary are statistically almost
+// indistinguishable, and an all-or-nothing gain would score a rank-(k+1)
+// substitution as badly as returning the worst item. A strict variant
+// (gain zero past rank k) is provided as NdcgStrict. Precision, recall and
+// Kendall-tau cover set accuracy and ordering quality.
+
+#ifndef CROWDTOPK_METRICS_RANKING_METRICS_H_
+#define CROWDTOPK_METRICS_RANKING_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/types.h"
+#include "data/dataset.h"
+
+namespace crowdtopk::metrics {
+
+// NDCG@k of `ranked` (best-first, usually size k) against the ground truth.
+// Returns a value in [0, 1]; 1 iff the true top-k in the true order.
+double Ndcg(const data::Dataset& dataset,
+            const std::vector<crowd::ItemId>& ranked, int64_t k);
+
+// NDCG with the all-or-nothing gain max(0, k + 1 - true_rank(o)): no credit
+// for items outside the true top-k.
+double NdcgStrict(const data::Dataset& dataset,
+                  const std::vector<crowd::ItemId>& ranked, int64_t k);
+
+// Fraction of `ranked`'s first k entries that are true top-k members.
+double PrecisionAtK(const data::Dataset& dataset,
+                    const std::vector<crowd::ItemId>& ranked, int64_t k);
+
+// Fraction of true top-k members present in `ranked`'s first k entries.
+// (Equal to precision when |ranked| == k.)
+double RecallAtK(const data::Dataset& dataset,
+                 const std::vector<crowd::ItemId>& ranked, int64_t k);
+
+// Kendall rank correlation (tau-a) between the order of `ranked` and the
+// ground-truth order of the same items, in [-1, 1]. Requires >= 2 items.
+double KendallTau(const data::Dataset& dataset,
+                  const std::vector<crowd::ItemId>& ranked);
+
+// Spearman footrule distance between `ranked` and the ground-truth order of
+// the same items (sum over items of |position difference|); 0 = identical.
+int64_t SpearmanFootrule(const data::Dataset& dataset,
+                         const std::vector<crowd::ItemId>& ranked);
+
+}  // namespace crowdtopk::metrics
+
+#endif  // CROWDTOPK_METRICS_RANKING_METRICS_H_

@@ -1,0 +1,135 @@
+#include "opt/lbfgs.h"
+
+#include <cmath>
+#include <deque>
+
+#include "util/check.h"
+
+namespace crowdtopk::opt {
+
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+double InfNorm(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+LbfgsResult MinimizeLbfgs(const Objective& objective, std::vector<double> x0,
+                          const LbfgsOptions& options) {
+  CROWDTOPK_CHECK(!x0.empty());
+  const size_t n = x0.size();
+
+  LbfgsResult result;
+  result.x = std::move(x0);
+
+  std::vector<double> gradient(n, 0.0);
+  double value = objective(result.x, &gradient);
+
+  struct Pair {
+    std::vector<double> s, y;
+    double rho;
+  };
+  std::deque<Pair> history;
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration;
+    if (InfNorm(gradient) <= options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H * gradient.
+    std::vector<double> q = gradient;
+    std::vector<double> alphas(history.size());
+    for (size_t i = history.size(); i-- > 0;) {
+      const Pair& pair = history[i];
+      alphas[i] = pair.rho * Dot(pair.s, q);
+      for (size_t j = 0; j < n; ++j) q[j] -= alphas[i] * pair.y[j];
+    }
+    // Initial Hessian scaling gamma = s'y / y'y from the latest pair.
+    double gamma = 1.0;
+    if (!history.empty()) {
+      const Pair& last = history.back();
+      const double yy = Dot(last.y, last.y);
+      if (yy > 0.0) gamma = Dot(last.s, last.y) / yy;
+    }
+    for (double& qi : q) qi *= gamma;
+    for (size_t i = 0; i < history.size(); ++i) {
+      const Pair& pair = history[i];
+      const double beta = pair.rho * Dot(pair.y, q);
+      for (size_t j = 0; j < n; ++j) q[j] += (alphas[i] - beta) * pair.s[j];
+    }
+    std::vector<double> direction(n);
+    for (size_t j = 0; j < n; ++j) direction[j] = -q[j];
+
+    double directional = Dot(gradient, direction);
+    if (directional >= 0.0) {
+      // Not a descent direction (can happen with a stale history); restart
+      // with steepest descent.
+      history.clear();
+      for (size_t j = 0; j < n; ++j) direction[j] = -gradient[j];
+      directional = -Dot(gradient, gradient);
+      if (directional == 0.0) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    // Armijo backtracking.
+    double step = 1.0;
+    std::vector<double> x_new(n);
+    std::vector<double> gradient_new(n, 0.0);
+    double value_new = value;
+    bool accepted = false;
+    for (int ls = 0; ls < options.max_line_search_steps; ++ls) {
+      for (size_t j = 0; j < n; ++j) {
+        x_new[j] = result.x[j] + step * direction[j];
+      }
+      value_new = objective(x_new, &gradient_new);
+      if (std::isfinite(value_new) &&
+          value_new <= value + options.armijo_c1 * step * directional) {
+        accepted = true;
+        break;
+      }
+      step *= options.step_shrink;
+    }
+    if (!accepted) break;  // line search failed; give up at current iterate
+
+    Pair pair;
+    pair.s.resize(n);
+    pair.y.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      pair.s[j] = x_new[j] - result.x[j];
+      pair.y[j] = gradient_new[j] - gradient[j];
+    }
+    const double sy = Dot(pair.s, pair.y);
+    if (sy > 1e-12) {
+      pair.rho = 1.0 / sy;
+      history.push_back(std::move(pair));
+      if (static_cast<int>(history.size()) > options.history) {
+        history.pop_front();
+      }
+    }
+
+    result.x = std::move(x_new);
+    gradient = std::move(gradient_new);
+    value = value_new;
+    // Reallocate scratch moved away above.
+    x_new.assign(n, 0.0);
+    gradient_new.assign(n, 0.0);
+  }
+
+  result.value = value;
+  return result;
+}
+
+}  // namespace crowdtopk::opt

@@ -1,0 +1,46 @@
+// Limited-memory BFGS minimiser.
+//
+// The CrowdBT baseline (Section 6.5) fits Bradley-Terry-Luce scores by
+// maximum likelihood; the original paper optimises with BFGS [31]. This is a
+// compact L-BFGS (two-loop recursion) with Armijo backtracking, sufficient
+// for the smooth, well-conditioned BTL negative log-likelihood.
+
+#ifndef CROWDTOPK_OPT_LBFGS_H_
+#define CROWDTOPK_OPT_LBFGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace crowdtopk::opt {
+
+// Objective: fills *gradient (resized by the caller contract to x.size())
+// and returns f(x).
+using Objective =
+    std::function<double(const std::vector<double>& x,
+                         std::vector<double>* gradient)>;
+
+struct LbfgsOptions {
+  int max_iterations = 100;
+  int history = 8;                 // number of (s, y) pairs kept
+  double gradient_tolerance = 1e-6;  // stop when ||g||_inf below this
+  double armijo_c1 = 1e-4;
+  double step_shrink = 0.5;
+  int max_line_search_steps = 40;
+};
+
+struct LbfgsResult {
+  std::vector<double> x;      // final iterate
+  double value = 0.0;         // f at the final iterate
+  int iterations = 0;         // outer iterations performed
+  bool converged = false;     // gradient tolerance reached
+};
+
+// Minimises `objective` starting from `x0`.
+LbfgsResult MinimizeLbfgs(const Objective& objective,
+                          std::vector<double> x0,
+                          const LbfgsOptions& options = LbfgsOptions());
+
+}  // namespace crowdtopk::opt
+
+#endif  // CROWDTOPK_OPT_LBFGS_H_

@@ -1,0 +1,52 @@
+#include "stats/binomial.h"
+
+#include <cmath>
+
+#include "stats/special_functions.h"
+#include "util/check.h"
+
+namespace crowdtopk::stats {
+
+double LogBinomialCoefficient(int64_t n, int64_t k) {
+  CROWDTOPK_CHECK(k >= 0 && k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double BinomialPmf(int64_t n, int64_t k, double p) {
+  CROWDTOPK_CHECK(p >= 0.0 && p <= 1.0);
+  CROWDTOPK_CHECK(k >= 0 && k <= n);
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = LogBinomialCoefficient(n, k) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialTailAtLeast(int64_t n, int64_t k, double p) {
+  CROWDTOPK_CHECK(p >= 0.0 && p <= 1.0);
+  CROWDTOPK_CHECK_GE(n, 0);
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  return RegularizedIncompleteBeta(static_cast<double>(k),
+                                   static_cast<double>(n - k) + 1.0, p);
+}
+
+double BinomialTailAtMost(int64_t n, int64_t k, double p) {
+  return 1.0 - BinomialTailAtLeast(n, k + 1, p);
+}
+
+double BinomialTailAtLeastBySum(int64_t n, int64_t k, double p) {
+  CROWDTOPK_CHECK(p >= 0.0 && p <= 1.0);
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  double total = 0.0;
+  for (int64_t i = k; i <= n; ++i) total += BinomialPmf(n, i, p);
+  return total > 1.0 ? 1.0 : total;
+}
+
+}  // namespace crowdtopk::stats

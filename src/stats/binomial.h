@@ -1,0 +1,33 @@
+// Binomial tail probabilities.
+//
+// The reference-selection analysis (Lemma 2 and the optimization problem (2))
+// evaluates P{Binomial(m, p) >= i} terms for the median-of-maxima bound;
+// these are computed exactly through the incomplete beta identity, with a
+// direct log-space summation available for cross-checking.
+
+#ifndef CROWDTOPK_STATS_BINOMIAL_H_
+#define CROWDTOPK_STATS_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace crowdtopk::stats {
+
+// log of C(n, k). Requires 0 <= k <= n.
+double LogBinomialCoefficient(int64_t n, int64_t k);
+
+// P(X = k) for X ~ Binomial(n, p).
+double BinomialPmf(int64_t n, int64_t k, double p);
+
+// P(X >= k) for X ~ Binomial(n, p); exact via the identity
+// P(X >= k) = I_p(k, n - k + 1) for 1 <= k <= n, handling the edges.
+double BinomialTailAtLeast(int64_t n, int64_t k, double p);
+
+// P(X <= k) = 1 - P(X >= k + 1).
+double BinomialTailAtMost(int64_t n, int64_t k, double p);
+
+// Direct log-space summation of P(X >= k); O(n). For testing and for small n.
+double BinomialTailAtLeastBySum(int64_t n, int64_t k, double p);
+
+}  // namespace crowdtopk::stats
+
+#endif  // CROWDTOPK_STATS_BINOMIAL_H_

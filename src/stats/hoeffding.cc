@@ -1,0 +1,26 @@
+#include "stats/hoeffding.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace crowdtopk::stats {
+
+double HoeffdingHalfWidth(int64_t n, double range, double alpha) {
+  CROWDTOPK_CHECK_GE(n, 1);
+  CROWDTOPK_CHECK(range > 0.0);
+  CROWDTOPK_CHECK(alpha > 0.0 && alpha < 1.0);
+  return range * std::sqrt(std::log(2.0 / alpha) /
+                           (2.0 * static_cast<double>(n)));
+}
+
+int64_t HoeffdingRequiredSamples(double target, double range, double alpha) {
+  CROWDTOPK_CHECK(target > 0.0);
+  CROWDTOPK_CHECK(range > 0.0);
+  CROWDTOPK_CHECK(alpha > 0.0 && alpha < 1.0);
+  const double n = range * range * std::log(2.0 / alpha) /
+                   (2.0 * target * target);
+  return static_cast<int64_t>(std::ceil(n));
+}
+
+}  // namespace crowdtopk::stats

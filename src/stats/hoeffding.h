@@ -1,0 +1,26 @@
+// Hoeffding-inequality confidence bounds for bounded samples.
+//
+// Used by the pairwise *binary* judgment baseline (Busa-Fekete et al. [8],
+// analysed in Appendix D): binary votes live in {-1, +1}, so Hoeffding gives
+// |mean - sample_mean| <= sqrt(range^2 ln(2/alpha) / (2 n)) with probability
+// at least 1 - alpha.
+
+#ifndef CROWDTOPK_STATS_HOEFFDING_H_
+#define CROWDTOPK_STATS_HOEFFDING_H_
+
+#include <cstdint>
+
+namespace crowdtopk::stats {
+
+// Half-width of the two-sided 1-alpha Hoeffding interval after n samples of
+// a variable bounded in an interval of length `range`. Requires n >= 1,
+// range > 0, alpha in (0, 1).
+double HoeffdingHalfWidth(int64_t n, double range, double alpha);
+
+// Smallest n such that HoeffdingHalfWidth(n, range, alpha) <= target.
+// Equation (3) of the paper with range = 2: n_b = 2 ln(2/alpha) / mu~^2.
+int64_t HoeffdingRequiredSamples(double target, double range, double alpha);
+
+}  // namespace crowdtopk::stats
+
+#endif  // CROWDTOPK_STATS_HOEFFDING_H_

@@ -1,0 +1,24 @@
+// Standard normal distribution: density, CDF (Phi), quantile (Phi^-1).
+//
+// Used by Thurstone's probability calculation in reference-based sorting
+// (Section 5.3), by the binary-judgment analysis (Appendix D), and as the
+// large-degrees-of-freedom limit of the Student-t quantile.
+
+#ifndef CROWDTOPK_STATS_NORMAL_H_
+#define CROWDTOPK_STATS_NORMAL_H_
+
+namespace crowdtopk::stats {
+
+// Density of N(0, 1) at z.
+double NormalPdf(double z);
+
+// Phi(z) = P(Z <= z) for Z ~ N(0, 1); accurate in both tails (erfc-based).
+double NormalCdf(double z);
+
+// Phi^-1(p) for p in (0, 1); Acklam's rational approximation refined by one
+// Halley step, giving ~full double precision. CHECK-fails outside (0, 1).
+double NormalQuantile(double p);
+
+}  // namespace crowdtopk::stats
+
+#endif  // CROWDTOPK_STATS_NORMAL_H_

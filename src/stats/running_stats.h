@@ -1,0 +1,49 @@
+// Welford's online mean/variance accumulator.
+//
+// The comparison process (Section 3.1) re-estimates the sample mean and the
+// sample standard deviation after every purchased judgment; Welford's update
+// makes each step O(1) and numerically stable for long bags.
+
+#ifndef CROWDTOPK_STATS_RUNNING_STATS_H_
+#define CROWDTOPK_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+
+namespace crowdtopk::stats {
+
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  // Adds one observation.
+  void Add(double x);
+
+  // Merges another accumulator (parallel-Welford / Chan et al.).
+  void Merge(const RunningStats& other);
+
+  // Number of observations so far.
+  int64_t count() const { return count_; }
+
+  // Sample mean; 0 when empty.
+  double Mean() const { return mean_; }
+
+  // Unbiased sample variance (divides by n-1); 0 when count < 2.
+  double Variance() const;
+
+  // sqrt(Variance()).
+  double StdDev() const;
+
+  // Sum of observations.
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+  void Reset();
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+};
+
+}  // namespace crowdtopk::stats
+
+#endif  // CROWDTOPK_STATS_RUNNING_STATS_H_

@@ -1,0 +1,108 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace crowdtopk::stats {
+
+double LogBeta(double a, double b) {
+  CROWDTOPK_CHECK(a > 0.0 && b > 0.0);
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+namespace {
+
+// Continued-fraction expansion of the incomplete beta (modified Lentz).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3.0e-16;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  CROWDTOPK_CHECK(a > 0.0 && b > 0.0);
+  CROWDTOPK_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front =
+      a * std::log(x) + b * std::log1p(-x) - LogBeta(a, b);
+  const double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double InverseRegularizedIncompleteBeta(double a, double b, double p) {
+  CROWDTOPK_CHECK(a > 0.0 && b > 0.0);
+  CROWDTOPK_CHECK(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+
+  // Bracketed Newton: the function is monotone, so keep a [lo, hi] bracket
+  // and fall back to bisection whenever a Newton step escapes it.
+  double lo = 0.0;
+  double hi = 1.0;
+  double x = a / (a + b);  // crude but safe starting point
+  const double log_beta = LogBeta(a, b);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double f = RegularizedIncompleteBeta(a, b, x) - p;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    // Derivative of I_x(a,b) wrt x is the beta density.
+    double next;
+    if (x > 0.0 && x < 1.0) {
+      const double log_pdf =
+          (a - 1.0) * std::log(x) + (b - 1.0) * std::log1p(-x) - log_beta;
+      const double pdf = std::exp(log_pdf);
+      next = (pdf > 0.0 && std::isfinite(pdf)) ? x - f / pdf : 0.5 * (lo + hi);
+    } else {
+      next = 0.5 * (lo + hi);
+    }
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::fabs(next - x) <= 1e-15 * (1.0 + std::fabs(x))) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x;
+}
+
+}  // namespace crowdtopk::stats

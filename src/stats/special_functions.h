@@ -1,0 +1,28 @@
+// Special functions backing the distribution code.
+//
+// The paper's judgment models need Student-t quantiles and normal tail
+// probabilities (Sections 3.1, 5.3, Appendix D/E); no third-party math
+// library is assumed, so the regularized incomplete beta function and its
+// inverse are implemented here (Lentz continued fraction + bracketed Newton),
+// following the classical formulations (Abramowitz & Stegun 26.5, Numerical
+// Recipes 6.4).
+
+#ifndef CROWDTOPK_STATS_SPECIAL_FUNCTIONS_H_
+#define CROWDTOPK_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace crowdtopk::stats {
+
+// Natural log of the Beta function B(a, b). Requires a > 0, b > 0.
+double LogBeta(double a, double b);
+
+// Regularized incomplete beta function I_x(a, b) for x in [0, 1], a, b > 0.
+// I_0 = 0, I_1 = 1; monotonically increasing in x.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+// Inverse of the regularized incomplete beta: returns x such that
+// I_x(a, b) = p, for p in [0, 1]. Accurate to ~1e-13 relative.
+double InverseRegularizedIncompleteBeta(double a, double b, double p);
+
+}  // namespace crowdtopk::stats
+
+#endif  // CROWDTOPK_STATS_SPECIAL_FUNCTIONS_H_

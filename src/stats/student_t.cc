@@ -1,0 +1,71 @@
+#include "stats/student_t.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/normal.h"
+#include "stats/special_functions.h"
+#include "util/check.h"
+
+namespace crowdtopk::stats {
+
+double StudentTPdf(double t, double df) {
+  CROWDTOPK_CHECK(df > 0.0);
+  const double log_norm = std::lgamma(0.5 * (df + 1.0)) -
+                          std::lgamma(0.5 * df) -
+                          0.5 * std::log(df * M_PI);
+  return std::exp(log_norm -
+                  0.5 * (df + 1.0) * std::log1p(t * t / df));
+}
+
+double StudentTCdf(double t, double df) {
+  CROWDTOPK_CHECK(df > 0.0);
+  if (t == 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(0.5 * df, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentTQuantile(double p, double df) {
+  CROWDTOPK_CHECK(p > 0.0 && p < 1.0);
+  CROWDTOPK_CHECK(df > 0.0);
+  if (df > 1e6) return NormalQuantile(p);
+  if (p == 0.5) return 0.0;
+  // Symmetric: solve for the upper half and mirror.
+  const bool upper = p > 0.5;
+  const double tail2 = upper ? 2.0 * (1.0 - p) : 2.0 * p;  // I_x(df/2, 1/2)
+  const double x = InverseRegularizedIncompleteBeta(0.5 * df, 0.5, tail2);
+  // x = df / (df + t^2)  =>  t = sqrt(df (1 - x) / x).
+  double t;
+  if (x <= 0.0) {
+    t = std::numeric_limits<double>::infinity();
+  } else {
+    t = std::sqrt(df * (1.0 - x) / x);
+  }
+  return upper ? t : -t;
+}
+
+double StudentTCritical(double alpha, double df) {
+  CROWDTOPK_CHECK(alpha > 0.0 && alpha < 1.0);
+  return StudentTQuantile(1.0 - 0.5 * alpha, df);
+}
+
+TCriticalCache::TCriticalCache(double alpha) : alpha_(alpha) {
+  CROWDTOPK_CHECK(alpha > 0.0 && alpha < 1.0);
+  normal_limit_ = NormalQuantile(1.0 - 0.5 * alpha);
+}
+
+double TCriticalCache::Get(int64_t df) {
+  CROWDTOPK_CHECK_GE(df, 1);
+  if (df > kMaxCachedDf) return normal_limit_;
+  const size_t index = static_cast<size_t>(df);
+  if (index >= cache_.size()) {
+    cache_.resize(index + 1, std::numeric_limits<double>::quiet_NaN());
+  }
+  if (std::isnan(cache_[index])) {
+    cache_[index] = StudentTCritical(alpha_, static_cast<double>(df));
+  }
+  return cache_[index];
+}
+
+}  // namespace crowdtopk::stats

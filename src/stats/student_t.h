@@ -1,0 +1,53 @@
+// Student's t-distribution: pdf, CDF, quantile, and a cached critical value.
+//
+// Algorithm 1 (StudentComp) evaluates t_{alpha/2, n-1} after every purchased
+// judgment, so the two-sided critical value is on the hot path; TCriticalCache
+// memoizes it per degrees-of-freedom for a fixed confidence level.
+
+#ifndef CROWDTOPK_STATS_STUDENT_T_H_
+#define CROWDTOPK_STATS_STUDENT_T_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crowdtopk::stats {
+
+// Density of the t-distribution with `df` degrees of freedom at t.
+double StudentTPdf(double t, double df);
+
+// P(T <= t) for T ~ t(df). Requires df > 0.
+double StudentTCdf(double t, double df);
+
+// Quantile: returns t such that P(T <= t) = p, for p in (0, 1), df > 0.
+// For df > 1e6 the normal quantile is used (the distributions agree to well
+// below the accuracy the comparison process needs).
+double StudentTQuantile(double p, double df);
+
+// Two-sided critical value t_{alpha/2, df}: the value exceeded with
+// right-tail probability alpha/2. Requires alpha in (0, 1).
+double StudentTCritical(double alpha, double df);
+
+// Memoized StudentTCritical for one fixed alpha, indexed by integer df.
+// Grows on demand; entry df=0 is unused.
+class TCriticalCache {
+ public:
+  explicit TCriticalCache(double alpha);
+
+  double alpha() const { return alpha_; }
+
+  // Returns t_{alpha/2, df}. Requires df >= 1.
+  double Get(int64_t df);
+
+ private:
+  // Above this many degrees of freedom, the normal quantile is used and no
+  // cache entry is stored.
+  static constexpr int64_t kMaxCachedDf = 1 << 20;
+
+  double alpha_;
+  double normal_limit_;  // z_{alpha/2}
+  std::vector<double> cache_;  // NaN = not yet computed
+};
+
+}  // namespace crowdtopk::stats
+
+#endif  // CROWDTOPK_STATS_STUDENT_T_H_

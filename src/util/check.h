@@ -1,0 +1,46 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// CHECK-style macros abort the process with a diagnostic when an invariant
+// does not hold. They are for programmer errors (broken invariants), not for
+// recoverable conditions -- use util::Status for the latter.
+
+#ifndef CROWDTOPK_UTIL_CHECK_H_
+#define CROWDTOPK_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crowdtopk::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, condition);
+  std::abort();
+}
+
+}  // namespace crowdtopk::util
+
+// Aborts if `condition` is false.
+#define CROWDTOPK_CHECK(condition)                                     \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::crowdtopk::util::CheckFailed(__FILE__, __LINE__, #condition);  \
+    }                                                                  \
+  } while (false)
+
+#define CROWDTOPK_CHECK_EQ(a, b) CROWDTOPK_CHECK((a) == (b))
+#define CROWDTOPK_CHECK_NE(a, b) CROWDTOPK_CHECK((a) != (b))
+#define CROWDTOPK_CHECK_LT(a, b) CROWDTOPK_CHECK((a) < (b))
+#define CROWDTOPK_CHECK_LE(a, b) CROWDTOPK_CHECK((a) <= (b))
+#define CROWDTOPK_CHECK_GT(a, b) CROWDTOPK_CHECK((a) > (b))
+#define CROWDTOPK_CHECK_GE(a, b) CROWDTOPK_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CROWDTOPK_DCHECK(condition) \
+  do {                              \
+  } while (false)
+#else
+#define CROWDTOPK_DCHECK(condition) CROWDTOPK_CHECK(condition)
+#endif
+
+#endif  // CROWDTOPK_UTIL_CHECK_H_

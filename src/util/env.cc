@@ -1,0 +1,41 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace crowdtopk::util {
+
+int64_t GetEnvInt64(const std::string& name, int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+std::string GetEnvString(const std::string& name,
+                         const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+int64_t BenchRuns(int64_t fallback) {
+  return GetEnvInt64("CROWDTOPK_RUNS", fallback);
+}
+
+uint64_t BenchSeed(uint64_t fallback) {
+  return static_cast<uint64_t>(
+      GetEnvInt64("CROWDTOPK_SEED", static_cast<int64_t>(fallback)));
+}
+
+}  // namespace crowdtopk::util

@@ -1,0 +1,34 @@
+// Environment-variable options for the benchmark harnesses.
+//
+// Benches run with no command-line arguments (so `for b in build/bench/*; do
+// $b; done` works); knobs such as the number of repetitions are read from
+// CROWDTOPK_* environment variables with sensible defaults.
+
+#ifndef CROWDTOPK_UTIL_ENV_H_
+#define CROWDTOPK_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crowdtopk::util {
+
+// Reads an integer env var; returns `fallback` if unset or unparsable.
+int64_t GetEnvInt64(const std::string& name, int64_t fallback);
+
+// Reads a double env var; returns `fallback` if unset or unparsable.
+double GetEnvDouble(const std::string& name, double fallback);
+
+// Reads a string env var; returns `fallback` if unset.
+std::string GetEnvString(const std::string& name, const std::string& fallback);
+
+// Number of Monte-Carlo repetitions per experiment point. The paper averages
+// over 100 runs; the default here is smaller so every bench finishes quickly
+// on a single core. Override with CROWDTOPK_RUNS.
+int64_t BenchRuns(int64_t fallback = 5);
+
+// Master seed for benches; override with CROWDTOPK_SEED.
+uint64_t BenchSeed(uint64_t fallback = 20170514);  // SIGMOD'17 opening day.
+
+}  // namespace crowdtopk::util
+
+#endif  // CROWDTOPK_UTIL_ENV_H_

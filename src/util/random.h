@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through util::Rng so that every
+// experiment is reproducible from a single printed seed, independent of the
+// platform's std::*_distribution implementations (which are not specified
+// bit-for-bit by the standard).
+//
+// The core engine is xoshiro256++ seeded through splitmix64, a widely used
+// combination with good statistical quality and tiny state.
+
+#ifndef CROWDTOPK_UTIL_RANDOM_H_
+#define CROWDTOPK_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crowdtopk::util {
+
+// splitmix64 step; used for seeding and for hashing seeds together.
+uint64_t SplitMix64(uint64_t* state);
+
+// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  result_type operator()();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Convenience wrapper bundling an engine with the distributions the library
+// needs. Deliberately small: only what the simulation uses.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Raw 64 random bits.
+  uint64_t NextUint64() { return engine_(); }
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0. Uses unbiased rejection.
+  int64_t UniformInt(int64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (deterministic across platforms).
+  double Gaussian();
+
+  // Normal with the given mean and standard deviation (stddev >= 0).
+  double Gaussian(double mean, double stddev);
+
+  // Bernoulli(p): true with probability p.
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) with probability proportional to
+  // weights[i]. Requires at least one strictly positive weight.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int64_t i = static_cast<int64_t>(v->size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // Derives an independent child generator; useful for giving each run or
+  // each dataset its own stream while keeping one master seed.
+  Rng Fork();
+
+ private:
+  Xoshiro256 engine_;
+  // Box-Muller produces pairs; cache the spare value.
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace crowdtopk::util
+
+#endif  // CROWDTOPK_UTIL_RANDOM_H_

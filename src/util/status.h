@@ -1,0 +1,119 @@
+// Error handling without exceptions: Status and StatusOr<T>.
+//
+// Recoverable failures (invalid arguments, exhausted budgets where the caller
+// must react) are reported through Status / StatusOr<T>. This mirrors the
+// absl/Arrow convention mandated by the project style: the public API never
+// throws.
+
+#ifndef CROWDTOPK_UTIL_STATUS_H_
+#define CROWDTOPK_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace crowdtopk::util {
+
+// Coarse error taxonomy; enough for a library of this size.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kNotFound,
+};
+
+// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result. Cheap to copy in the success case.
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. The value is only accessible when ok().
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: lets functions
+  // `return value;` and `return Status::...;` interchangeably.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    CROWDTOPK_CHECK(!status_.ok());  // use the value constructor for success
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CROWDTOPK_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    CROWDTOPK_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CROWDTOPK_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace crowdtopk::util
+
+// Propagates a non-OK Status to the caller.
+#define CROWDTOPK_RETURN_IF_ERROR(expr)                  \
+  do {                                                   \
+    ::crowdtopk::util::Status status_macro_ = (expr);    \
+    if (!status_macro_.ok()) return status_macro_;       \
+  } while (false)
+
+#endif  // CROWDTOPK_UTIL_STATUS_H_

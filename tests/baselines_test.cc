@@ -1,0 +1,312 @@
+// Tests for the baseline algorithms: TourTree, HeapSort, QuickSelect, PBR,
+// CrowdBT, Hybrid, and HybridSPR.
+
+#include <memory>
+#include <set>
+
+#include "baselines/crowd_bt.h"
+#include "baselines/heap_sort.h"
+#include "baselines/hybrid.h"
+#include "baselines/pbr.h"
+#include "baselines/quick_select.h"
+#include "baselines/tournament_tree.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "metrics/ranking_metrics.h"
+
+namespace crowdtopk::baselines {
+namespace {
+
+judgment::ComparisonOptions FastOptions() {
+  judgment::ComparisonOptions options;
+  options.alpha = 0.05;
+  options.budget = 600;
+  options.min_workload = 30;
+  options.batch_size = 30;
+  return options;
+}
+
+void ExpectValidTopK(const core::TopKResult& result, int64_t k, int64_t n) {
+  ASSERT_EQ(result.items.size(), static_cast<size_t>(k));
+  std::set<core::ItemId> unique(result.items.begin(), result.items.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(k));
+  for (core::ItemId o : result.items) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, n);
+  }
+  EXPECT_GT(result.total_microtasks, 0);
+  EXPECT_GT(result.rounds, 0);
+}
+
+// Easy dataset: every baseline must nail the exact ranked top-k.
+void ExpectExactOnEasyData(core::TopKAlgorithm* algorithm) {
+  auto dataset = data::MakeUniformLadder(64, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 42);
+  const core::TopKResult result = algorithm->Run(&platform, 5);
+  ExpectValidTopK(result, 5, 64);
+  EXPECT_EQ(result.items,
+            (std::vector<core::ItemId>{63, 62, 61, 60, 59}))
+      << algorithm->name();
+}
+
+TEST(TournamentTreeTest, ExactOnEasyData) {
+  TournamentTree algorithm(FastOptions());
+  ExpectExactOnEasyData(&algorithm);
+}
+
+TEST(HeapSortTest, ExactOnEasyData) {
+  HeapSortTopK algorithm(FastOptions());
+  ExpectExactOnEasyData(&algorithm);
+}
+
+TEST(QuickSelectTest, ExactOnEasyData) {
+  QuickSelectTopK algorithm(FastOptions());
+  ExpectExactOnEasyData(&algorithm);
+}
+
+TEST(PbrTest, ExactOnEasyData) {
+  // PBR races Borda scores with binary votes; on well-separated data it must
+  // still find the right set.
+  auto dataset = data::MakeUniformLadder(32, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 43);
+  PbrTopK algorithm(FastOptions());
+  const core::TopKResult result = algorithm.Run(&platform, 5);
+  ExpectValidTopK(result, 5, 32);
+  const std::set<core::ItemId> expected = {31, 30, 29, 28, 27};
+  const std::set<core::ItemId> got(result.items.begin(), result.items.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(TournamentTreeTest, KEqualsOne) {
+  auto dataset = data::MakeUniformLadder(33, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 44);
+  TournamentTree algorithm(FastOptions());
+  const core::TopKResult result = algorithm.Run(&platform, 1);
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_EQ(result.items[0], 32);
+}
+
+TEST(HeapSortTest, KEqualsN) {
+  auto dataset = data::MakeUniformLadder(8, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 45);
+  HeapSortTopK algorithm(FastOptions());
+  const core::TopKResult result = algorithm.Run(&platform, 8);
+  EXPECT_EQ(result.items,
+            (std::vector<core::ItemId>{7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(QuickSelectTest, ValidOnNoisyData) {
+  auto dataset = data::MakeUniformLadder(60, 1.0, 4.0);
+  crowd::CrowdPlatform platform(dataset.get(), 46);
+  QuickSelectTopK algorithm(FastOptions());
+  const core::TopKResult result = algorithm.Run(&platform, 10);
+  ExpectValidTopK(result, 10, 60);
+}
+
+TEST(HeapSortTest, LatencyDominatesParallelMethods) {
+  // Section 5.5: HeapSort is sequential; its round count should far exceed
+  // QuickSelect's on the same data.
+  auto dataset = data::MakeUniformLadder(100, 5.0, 4.0);
+  crowd::CrowdPlatform heap_platform(dataset.get(), 47);
+  HeapSortTopK heap(FastOptions());
+  const core::TopKResult heap_result = heap.Run(&heap_platform, 10);
+
+  crowd::CrowdPlatform quick_platform(dataset.get(), 47);
+  QuickSelectTopK quick(FastOptions());
+  const core::TopKResult quick_result = quick.Run(&quick_platform, 10);
+
+  EXPECT_GT(heap_result.rounds, 2 * quick_result.rounds);
+}
+
+TEST(PbrTest, CostsMoreThanConfidenceAwareMethods) {
+  // Table 7's qualitative claim: PBR's binary+Hoeffding racing is by far the
+  // most expensive confidence-aware method.
+  auto dataset = data::MakeUniformLadder(40, 2.0, 4.0);
+  crowd::CrowdPlatform pbr_platform(dataset.get(), 48);
+  PbrTopK pbr(FastOptions());
+  const core::TopKResult pbr_result = pbr.Run(&pbr_platform, 5);
+
+  crowd::CrowdPlatform heap_platform(dataset.get(), 48);
+  HeapSortTopK heap(FastOptions());
+  const core::TopKResult heap_result = heap.Run(&heap_platform, 5);
+
+  EXPECT_GT(pbr_result.total_microtasks, heap_result.total_microtasks);
+}
+
+TEST(CrowdBtTest, RespectsBudgetExactly) {
+  auto dataset = data::MakeUniformLadder(30, 5.0, 3.0);
+  crowd::CrowdPlatform platform(dataset.get(), 49);
+  CrowdBt::Options options;
+  options.total_budget = 5000;
+  CrowdBt algorithm(options);
+  const core::TopKResult result = algorithm.Run(&platform, 5);
+  EXPECT_EQ(result.total_microtasks, 5000);
+  ExpectValidTopK(result, 5, 30);
+}
+
+TEST(CrowdBtTest, RecoversTopKWithGenerousBudget) {
+  auto dataset = data::MakeUniformLadder(20, 10.0, 3.0);
+  crowd::CrowdPlatform platform(dataset.get(), 50);
+  CrowdBt::Options options;
+  options.total_budget = 40000;
+  CrowdBt algorithm(options);
+  const core::TopKResult result = algorithm.Run(&platform, 5);
+  const std::set<core::ItemId> got(result.items.begin(), result.items.end());
+  const std::set<core::ItemId> expected = {19, 18, 17, 16, 15};
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(algorithm.fitted_scores().size(), 20u);
+  // Fitted scores must order the extremes correctly.
+  EXPECT_GT(algorithm.fitted_scores()[19], algorithm.fitted_scores()[0]);
+}
+
+TEST(HybridTest, RespectsBudgetApproximately) {
+  auto dataset = data::MakeUniformLadder(50, 5.0, 3.0);
+  crowd::CrowdPlatform platform(dataset.get(), 51);
+  Hybrid::Options options;
+  options.total_budget = 20000;
+  Hybrid algorithm(options);
+  const core::TopKResult result = algorithm.Run(&platform, 5);
+  EXPECT_LE(result.total_microtasks, options.total_budget);
+  ASSERT_EQ(result.items.size(), 5u);
+}
+
+TEST(HybridTest, GoodNdcgWithGenerousBudget) {
+  auto dataset = data::MakeUniformLadder(40, 10.0, 3.0);
+  crowd::CrowdPlatform platform(dataset.get(), 52);
+  Hybrid::Options options;
+  options.total_budget = 30000;
+  Hybrid algorithm(options);
+  const core::TopKResult result = algorithm.Run(&platform, 5);
+  EXPECT_GT(metrics::Ndcg(*dataset, result.items, 5), 0.8);
+}
+
+TEST(HybridSprTest, FiltersThenRanksExactlyOnEasyData) {
+  auto dataset = data::MakeUniformLadder(50, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 53);
+  HybridSpr::Options options;
+  options.grades_per_item = 40;
+  options.spr.comparison = FastOptions();
+  HybridSpr algorithm(options);
+  const core::TopKResult result = algorithm.Run(&platform, 5);
+  EXPECT_EQ(result.items,
+            (std::vector<core::ItemId>{49, 48, 47, 46, 45}));
+}
+
+TEST(HybridSprTest, CheaperThanPlainSprOnSameData) {
+  // The filter phase prunes most items with cheap grades, so the SPR phase
+  // runs on a small candidate set (Fig. 14's cost argument).
+  auto dataset = data::MakeUniformLadder(150, 5.0, 4.0);
+
+  crowd::CrowdPlatform spr_platform(dataset.get(), 54);
+  core::SprOptions spr_options;
+  spr_options.comparison = FastOptions();
+  core::Spr spr(spr_options);
+  const core::TopKResult spr_result = spr.Run(&spr_platform, 10);
+
+  crowd::CrowdPlatform hybrid_platform(dataset.get(), 54);
+  HybridSpr::Options options;
+  options.grades_per_item = 30;
+  options.spr = spr_options;
+  HybridSpr hybrid(options);
+  const core::TopKResult hybrid_result = hybrid.Run(&hybrid_platform, 10);
+
+  EXPECT_LT(hybrid_result.total_microtasks, spr_result.total_microtasks);
+}
+
+// --------------------------------------------------------- Edge cases
+
+TEST(PbrTest, KEqualsNSelectsEveryone) {
+  // Racing needs no evidence to select all N items: the set is complete and
+  // free, but the internal order is then unspecified.
+  auto dataset = data::MakeUniformLadder(8, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 60);
+  PbrTopK algorithm(FastOptions());
+  const core::TopKResult result = algorithm.Run(&platform, 8);
+  ASSERT_EQ(result.items.size(), 8u);
+  std::set<core::ItemId> unique(result.items.begin(), result.items.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_EQ(result.total_microtasks, 0);
+}
+
+TEST(QuickSelectTest, KEqualsNSortsEverything) {
+  auto dataset = data::MakeUniformLadder(7, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 61);
+  QuickSelectTopK algorithm(FastOptions());
+  const core::TopKResult result = algorithm.Run(&platform, 7);
+  EXPECT_EQ(result.items,
+            (std::vector<core::ItemId>{6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(TournamentTreeTest, TwoItems) {
+  auto dataset = data::MakeUniformLadder(2, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 62);
+  TournamentTree algorithm(FastOptions());
+  const core::TopKResult result = algorithm.Run(&platform, 2);
+  EXPECT_EQ(result.items, (std::vector<core::ItemId>{1, 0}));
+}
+
+TEST(CrowdBtTest, TinyBudgetStillReturnsKItems) {
+  auto dataset = data::MakeUniformLadder(12, 5.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 63);
+  CrowdBt::Options options;
+  options.total_budget = 10;  // less than one batch
+  CrowdBt algorithm(options);
+  const core::TopKResult result = algorithm.Run(&platform, 4);
+  ASSERT_EQ(result.items.size(), 4u);
+  EXPECT_EQ(result.total_microtasks, 10);
+}
+
+TEST(HybridTest, BudgetSmallerThanFilterStillWorks) {
+  auto dataset = data::MakeUniformLadder(20, 5.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 64);
+  Hybrid::Options options;
+  options.total_budget = 50;  // ~1 grade per item, no ranking phase
+  Hybrid algorithm(options);
+  const core::TopKResult result = algorithm.Run(&platform, 5);
+  ASSERT_EQ(result.items.size(), 5u);
+  std::set<core::ItemId> unique(result.items.begin(), result.items.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(AllBaselinesTest, DeterministicAcrossReruns) {
+  auto dataset = data::MakeUniformLadder(30, 2.0, 4.0);
+  for (int which = 0; which < 4; ++which) {
+    std::unique_ptr<core::TopKAlgorithm> make[2];
+    for (int copy = 0; copy < 2; ++copy) {
+      switch (which) {
+        case 0:
+          make[copy] = std::make_unique<TournamentTree>(FastOptions());
+          break;
+        case 1:
+          make[copy] = std::make_unique<HeapSortTopK>(FastOptions());
+          break;
+        case 2:
+          make[copy] = std::make_unique<QuickSelectTopK>(FastOptions());
+          break;
+        default:
+          make[copy] = std::make_unique<PbrTopK>(FastOptions());
+          break;
+      }
+    }
+    crowd::CrowdPlatform a(dataset.get(), 777);
+    crowd::CrowdPlatform b(dataset.get(), 777);
+    const auto ra = make[0]->Run(&a, 6);
+    const auto rb = make[1]->Run(&b, 6);
+    EXPECT_EQ(ra.items, rb.items) << "method " << which;
+    EXPECT_EQ(ra.total_microtasks, rb.total_microtasks) << "method " << which;
+  }
+}
+
+TEST(AllBaselinesTest, NamesAreStable) {
+  EXPECT_EQ(TournamentTree(FastOptions()).name(), "TourTree");
+  EXPECT_EQ(HeapSortTopK(FastOptions()).name(), "HeapSort");
+  EXPECT_EQ(QuickSelectTopK(FastOptions()).name(), "QuickSelect");
+  EXPECT_EQ(PbrTopK(FastOptions()).name(), "PBR");
+  EXPECT_EQ(CrowdBt(CrowdBt::Options()).name(), "CrowdBT");
+  EXPECT_EQ(Hybrid(Hybrid::Options()).name(), "Hybrid");
+  EXPECT_EQ(HybridSpr(HybridSpr::Options()).name(), "HybridSPR");
+}
+
+}  // namespace
+}  // namespace crowdtopk::baselines

@@ -1,0 +1,579 @@
+// Tests for the SPR core: Thurstone sorting, reference selection (problem
+// (2) + Algorithm 3), partitioning (Algorithm 4), the SPR driver
+// (Algorithm 2), the infimum estimator (Lemmas 1/3), and tournaments.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/infimum.h"
+#include "core/interval_ranking.h"
+#include "core/partition.h"
+#include "core/select_reference.h"
+#include "core/sorting.h"
+#include "core/spr.h"
+#include "core/tournament.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "metrics/ranking_metrics.h"
+
+namespace crowdtopk::core {
+namespace {
+
+judgment::ComparisonOptions FastOptions() {
+  judgment::ComparisonOptions options;
+  options.alpha = 0.05;
+  options.budget = 600;
+  options.min_workload = 30;
+  options.batch_size = 30;
+  return options;
+}
+
+// -------------------------------------------------------------- Thurstone
+
+TEST(ThurstoneTest, HalfWhenEqual) {
+  EXPECT_DOUBLE_EQ(ThurstoneProbability(0.3, 0.1, 0.3, 0.1), 0.5);
+}
+
+TEST(ThurstoneTest, MonotoneInMeanGap) {
+  const double p1 = ThurstoneProbability(0.2, 0.1, 0.1, 0.1);
+  const double p2 = ThurstoneProbability(0.4, 0.1, 0.1, 0.1);
+  EXPECT_GT(p2, p1);
+  EXPECT_GT(p1, 0.5);
+}
+
+TEST(ThurstoneTest, MoreNoiseLessCertain) {
+  const double tight = ThurstoneProbability(0.2, 0.05, 0.0, 0.05);
+  const double loose = ThurstoneProbability(0.2, 0.5, 0.0, 0.5);
+  EXPECT_GT(tight, loose);
+  EXPECT_GT(loose, 0.5);
+}
+
+TEST(ThurstoneTest, ZeroVarianceDegeneratesToHardComparison) {
+  EXPECT_EQ(ThurstoneProbability(0.2, 0.0, 0.1, 0.0), 1.0);
+  EXPECT_EQ(ThurstoneProbability(0.1, 0.0, 0.2, 0.0), 0.0);
+  EXPECT_EQ(ThurstoneProbability(0.1, 0.0, 0.1, 0.0), 0.5);
+}
+
+TEST(ThurstoneTest, Complementary) {
+  EXPECT_NEAR(ThurstoneProbability(0.3, 0.2, 0.1, 0.15) +
+                  ThurstoneProbability(0.1, 0.15, 0.3, 0.2),
+              1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- Sorting
+
+TEST(ConfirmSortTest, SortsEasyItemsCorrectly) {
+  auto dataset = data::MakeUniformLadder(8, 10.0, 2.0);  // well separated
+  crowd::CrowdPlatform platform(dataset.get(), 1);
+  judgment::ComparisonCache cache(FastOptions());
+  std::vector<ItemId> items = {3, 7, 0, 5, 1, 6, 2, 4};
+  ConfirmSort(&items, &cache, &platform);
+  EXPECT_EQ(items, (std::vector<ItemId>{7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(ConfirmSortTest, AlreadySortedCostsOnePassOnly) {
+  auto dataset = data::MakeUniformLadder(6, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 2);
+  judgment::ComparisonCache cache(FastOptions());
+  std::vector<ItemId> items = {5, 4, 3, 2, 1, 0};
+  ConfirmSort(&items, &cache, &platform);
+  const int64_t first_cost = platform.total_microtasks();
+  // Second sort over the same items is fully cached.
+  ConfirmSort(&items, &cache, &platform);
+  EXPECT_EQ(platform.total_microtasks(), first_cost);
+  EXPECT_EQ(items, (std::vector<ItemId>{5, 4, 3, 2, 1, 0}));
+}
+
+TEST(ConfirmSortTest, HandlesTinyInputs) {
+  judgment::ComparisonCache cache(FastOptions());
+  auto dataset = data::MakeUniformLadder(3, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 3);
+  std::vector<ItemId> empty;
+  ConfirmSort(&empty, &cache, &platform);
+  EXPECT_TRUE(empty.empty());
+  std::vector<ItemId> one = {2};
+  ConfirmSort(&one, &cache, &platform);
+  EXPECT_EQ(one, (std::vector<ItemId>{2}));
+  EXPECT_EQ(platform.total_microtasks(), 0);
+}
+
+TEST(InitialOrderTest, OrdersByEstimatedMeanAgainstReference) {
+  auto dataset = data::MakeUniformLadder(5, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 4);
+  judgment::ComparisonCache cache(FastOptions());
+  const ItemId reference = 2;
+  // Fund comparisons of items 0,1,3,4 against the reference.
+  for (ItemId o : {0, 1, 3, 4}) cache.Compare(o, reference, &platform);
+  const std::vector<ItemId> order =
+      InitialOrderByReference({0, 4, 2, 1, 3}, reference, cache);
+  EXPECT_EQ(order, (std::vector<ItemId>{4, 3, 2, 1, 0}));
+}
+
+TEST(SortByReferenceTest, ReusesPartitionJudgments) {
+  auto dataset = data::MakeUniformLadder(6, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 5);
+  judgment::ComparisonCache cache(FastOptions());
+  const ItemId reference = 0;
+  for (ItemId o = 1; o < 6; ++o) cache.Compare(o, reference, &platform);
+  const std::vector<ItemId> sorted =
+      SortByReference({1, 2, 3, 4, 5}, reference, &cache, &platform);
+  EXPECT_EQ(sorted, (std::vector<ItemId>{5, 4, 3, 2, 1}));
+}
+
+// ----------------------------------------------------- Reference planning
+
+TEST(PlanTest, BubbleMedianCostMatchesAppendixC) {
+  // C(m) = sum_{i=1}^{ceil(m/2)} (m - i).
+  EXPECT_EQ(BubbleMedianCost(1), 0);
+  EXPECT_EQ(BubbleMedianCost(3), 2 + 1);
+  EXPECT_EQ(BubbleMedianCost(5), 4 + 3 + 2);
+  EXPECT_EQ(BubbleMedianCost(7), 6 + 5 + 4 + 3);
+  // And never exceeds the closed-form bound (3m^2 + m - 2) / 8.
+  for (int64_t m = 1; m <= 31; m += 2) {
+    EXPECT_LE(BubbleMedianCost(m), (3 * m * m + m - 2 + 7) / 8);
+  }
+}
+
+TEST(PlanTest, GroupMaxProbabilityEquation1) {
+  // Pr{r >= o*_j | x} = 1 - (1 - j/N)^x.
+  EXPECT_NEAR(GroupMaxReachesTopJ(100, 10, 1), 0.1, 1e-12);
+  EXPECT_NEAR(GroupMaxReachesTopJ(100, 10, 10), 1.0 - std::pow(0.9, 10),
+              1e-12);
+  EXPECT_EQ(GroupMaxReachesTopJ(100, 0, 5), 0.0);
+  EXPECT_EQ(GroupMaxReachesTopJ(100, 100, 5), 1.0);
+}
+
+TEST(PlanTest, SweetSpotProbabilityIncreasesWithM) {
+  // With x tuned so p < 1/2 < q, more groups concentrate the median
+  // (Lemma 2's argument).
+  const int64_t n = 1000, k = 10;
+  const double c = 2.0;
+  const int64_t x = 150;  // makes q ~ 0.95, p ~ 0.74... pick x = 60
+  const double p3 = MedianInSweetSpotProbability(n, k, c, 60, 3);
+  const double p11 = MedianInSweetSpotProbability(n, k, c, 60, 11);
+  EXPECT_GT(p11, p3);
+  (void)x;
+}
+
+TEST(PlanTest, PlanRespectsBudget) {
+  for (int64_t n : {10, 100, 1225}) {
+    const ReferenceSelectionPlan plan = PlanReferenceSelection(n, 10, 1.5, n);
+    EXPECT_GE(plan.x, 1);
+    EXPECT_GE(plan.m, 1);
+    EXPECT_EQ(plan.m % 2, 1);
+    EXPECT_LE(plan.m * (plan.x - 1) + BubbleMedianCost(plan.m), n);
+    EXPECT_GE(plan.success_probability, 0.0);
+    EXPECT_LE(plan.success_probability, 1.0);
+  }
+}
+
+TEST(PlanTest, LargerBudgetNeverHurts) {
+  const ReferenceSelectionPlan small = PlanReferenceSelection(500, 10, 1.5, 100);
+  const ReferenceSelectionPlan large = PlanReferenceSelection(500, 10, 1.5, 500);
+  EXPECT_GE(large.success_probability, small.success_probability - 1e-12);
+}
+
+TEST(PlanTest, ReasonableSuccessProbabilityAtPaperScale) {
+  // At IMDb scale with the default sweet spot, the plan should place the
+  // median in the sweet spot with decent probability.
+  const ReferenceSelectionPlan plan =
+      PlanReferenceSelection(1225, 10, 1.5, 1225);
+  EXPECT_GT(plan.success_probability, 0.3);
+}
+
+// ---------------------------------------------------- Reference selection
+
+TEST(SelectReferenceTest, SingleItem) {
+  auto dataset = data::MakeUniformLadder(1, 1.0, 0.1);
+  crowd::CrowdPlatform platform(dataset.get(), 6);
+  judgment::ComparisonCache cache(FastOptions());
+  EXPECT_EQ(SelectReference({7}, 1, 1.5, 10, &cache, &platform), 7);
+  EXPECT_EQ(platform.total_microtasks(), 0);
+}
+
+TEST(SelectReferenceTest, LandsNearSweetSpotOnEasyData) {
+  // Well-separated scores: comparisons are nearly exact, so the reference
+  // should land in (or near) the sweet spot most of the time.
+  auto dataset = data::MakeUniformLadder(200, 10.0, 3.0);
+  const int64_t k = 10;
+  const double c = 2.0;
+  int in_or_above_sweet_spot = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    crowd::CrowdPlatform platform(dataset.get(), 100 + t);
+    judgment::ComparisonCache cache(FastOptions());
+    std::vector<ItemId> items(200);
+    std::iota(items.begin(), items.end(), 0);
+    const ItemId reference =
+        SelectReference(items, k, c, 200, &cache, &platform);
+    const int64_t rank = dataset->TrueRank(reference);
+    // Generous window: the guarantee is probabilistic.
+    if (rank >= 2 && rank <= 4 * k) ++in_or_above_sweet_spot;
+  }
+  EXPECT_GE(in_or_above_sweet_spot, trials * 3 / 5);
+}
+
+// -------------------------------------------------------------- Tournament
+
+TEST(TournamentTest, FindsMaxOnEasyData) {
+  auto dataset = data::MakeUniformLadder(16, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 7);
+  judgment::ComparisonCache cache(FastOptions());
+  std::vector<ItemId> items(16);
+  std::iota(items.begin(), items.end(), 0);
+  platform.rng()->Shuffle(&items);
+  const TournamentRecord record =
+      TournamentMax(items, &cache, &platform, true);
+  EXPECT_EQ(record.winner, 15);
+  EXPECT_EQ(record.matches.size(), 15u);  // n - 1 matches
+  EXPECT_GT(record.rounds, 0);
+  EXPECT_EQ(platform.rounds(), record.rounds);
+}
+
+TEST(TournamentTest, OddBracketGetsBye) {
+  auto dataset = data::MakeUniformLadder(5, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 8);
+  judgment::ComparisonCache cache(FastOptions());
+  const TournamentRecord record =
+      TournamentMax({0, 1, 2, 3, 4}, &cache, &platform, true);
+  EXPECT_EQ(record.winner, 4);
+  EXPECT_EQ(record.matches.size(), 4u);
+}
+
+TEST(TournamentTest, SingleItemIsFree) {
+  auto dataset = data::MakeUniformLadder(2, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 9);
+  judgment::ComparisonCache cache(FastOptions());
+  const TournamentRecord record = TournamentMax({1}, &cache, &platform, true);
+  EXPECT_EQ(record.winner, 1);
+  EXPECT_EQ(record.rounds, 0);
+  EXPECT_EQ(platform.total_microtasks(), 0);
+}
+
+TEST(TournamentTest, UnchargedModeLeavesPlatformRoundsAlone) {
+  auto dataset = data::MakeUniformLadder(8, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 10);
+  judgment::ComparisonCache cache(FastOptions());
+  std::vector<ItemId> items = {0, 1, 2, 3, 4, 5, 6, 7};
+  const TournamentRecord record =
+      TournamentMax(items, &cache, &platform, false);
+  EXPECT_GT(record.rounds, 0);
+  EXPECT_EQ(platform.rounds(), 0);
+  EXPECT_GT(platform.total_microtasks(), 0);
+}
+
+// ---------------------------------------------------------------- Partition
+
+TEST(PartitionTest, SeparatesWinnersAndLosersOnEasyData) {
+  auto dataset = data::MakeUniformLadder(30, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 11);
+  judgment::ComparisonCache cache(FastOptions());
+  std::vector<ItemId> items(30);
+  std::iota(items.begin(), items.end(), 0);
+  const ItemId reference = 20;  // true rank 10
+  const PartitionResult result =
+      Partition(items, 10, reference, 0, &cache, &platform);
+  EXPECT_EQ(result.reference, reference);
+  EXPECT_EQ(result.reference_changes, 0);
+  // Winners should be exactly the items better than 20: ids 21..29, plus the
+  // reference itself is NOT added (9 winners < k = 10 -> it is added).
+  std::set<ItemId> winner_set(result.winners.begin(), result.winners.end());
+  for (ItemId o = 21; o < 30; ++o) EXPECT_TRUE(winner_set.count(o)) << o;
+  EXPECT_TRUE(winner_set.count(reference));  // line 13 add-back
+  EXPECT_EQ(result.winners.size(), 10u);
+  EXPECT_TRUE(result.ties.empty());
+  EXPECT_EQ(result.losers.size(), 20u);
+}
+
+TEST(PartitionTest, AllItemsAccountedForExactlyOnce) {
+  auto dataset = data::MakeUniformLadder(40, 2.0, 4.0);  // noisier
+  crowd::CrowdPlatform platform(dataset.get(), 12);
+  judgment::ComparisonCache cache(FastOptions());
+  std::vector<ItemId> items(40);
+  std::iota(items.begin(), items.end(), 0);
+  const PartitionResult result =
+      Partition(items, 5, 30, 2, &cache, &platform);
+  std::vector<ItemId> all;
+  all.insert(all.end(), result.winners.begin(), result.winners.end());
+  all.insert(all.end(), result.ties.begin(), result.ties.end());
+  all.insert(all.end(), result.losers.begin(), result.losers.end());
+  // The final reference appears in exactly one bucket (winners if < k
+  // confirmed, else it is accounted as itself).
+  std::sort(all.begin(), all.end());
+  const bool reference_in_winners =
+      std::find(result.winners.begin(), result.winners.end(),
+                result.reference) != result.winners.end();
+  if (!reference_in_winners) {
+    all.push_back(result.reference);
+    std::sort(all.begin(), all.end());
+  }
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(all.size(), 40u);
+}
+
+TEST(PartitionTest, BudgetExhaustionYieldsTies) {
+  // Indistinguishable items: every comparison exhausts the budget.
+  auto dataset = data::MakeUniformLadder(6, 0.0001, 5.0);
+  judgment::ComparisonOptions options = FastOptions();
+  options.budget = 60;
+  crowd::CrowdPlatform platform(dataset.get(), 13);
+  judgment::ComparisonCache cache(options);
+  std::vector<ItemId> items = {0, 1, 2, 3, 4, 5};
+  const PartitionResult result =
+      Partition(items, 2, 0, 0, &cache, &platform);
+  EXPECT_GE(result.ties.size(), 3u);
+  // Every tie cost exactly the budget.
+  for (ItemId o : result.ties) {
+    EXPECT_EQ(cache.Workload(o, 0), 60);
+  }
+}
+
+TEST(PartitionTest, ReferenceChangeMovesTowardOkStar) {
+  // Reference far below the sweet spot, with enough judgment noise that
+  // near-reference comparisons stay pending while far items resolve -- the
+  // situation where changing the reference (lines 9-12) fires and helps.
+  auto dataset = data::MakeUniformLadder(60, 1.0, 10.0);
+  crowd::CrowdPlatform platform(dataset.get(), 14);
+  judgment::ComparisonCache cache(FastOptions());
+  std::vector<ItemId> items(60);
+  std::iota(items.begin(), items.end(), 0);
+  const ItemId initial = 10;  // true rank 50: terrible reference
+  const PartitionResult result =
+      Partition(items, 5, initial, 4, &cache, &platform);
+  EXPECT_GT(result.reference_changes, 0);
+  EXPECT_LT(dataset->TrueRank(result.reference), dataset->TrueRank(initial));
+}
+
+TEST(PartitionTest, ChangeCountCapRespected) {
+  auto dataset = data::MakeUniformLadder(60, 1.0, 10.0);
+  crowd::CrowdPlatform platform(dataset.get(), 15);
+  judgment::ComparisonCache cache(FastOptions());
+  std::vector<ItemId> items(60);
+  std::iota(items.begin(), items.end(), 0);
+  const PartitionResult capped =
+      Partition(items, 5, 10, 1, &cache, &platform);
+  EXPECT_EQ(capped.reference_changes, 1);
+  // And disabling changes keeps the initial reference.
+  crowd::CrowdPlatform platform2(dataset.get(), 15);
+  judgment::ComparisonCache cache2(FastOptions());
+  const PartitionResult disabled =
+      Partition(items, 5, 10, 0, &cache2, &platform2);
+  EXPECT_EQ(disabled.reference_changes, 0);
+  EXPECT_EQ(disabled.reference, 10);
+}
+
+// -------------------------------------------------------------------- SPR
+
+TEST(SprTest, FindsExactTopKOnEasyData) {
+  auto dataset = data::MakeUniformLadder(100, 10.0, 3.0);
+  crowd::CrowdPlatform platform(dataset.get(), 16);
+  SprOptions options;
+  options.comparison = FastOptions();
+  Spr spr(options);
+  const TopKResult result = spr.Run(&platform, 5);
+  EXPECT_EQ(result.items,
+            (std::vector<ItemId>{99, 98, 97, 96, 95}));
+  EXPECT_EQ(result.total_microtasks, platform.total_microtasks());
+  EXPECT_GT(result.rounds, 0);
+}
+
+TEST(SprTest, KEqualsOneWorks) {
+  auto dataset = data::MakeUniformLadder(50, 10.0, 3.0);
+  crowd::CrowdPlatform platform(dataset.get(), 17);
+  SprOptions options;
+  options.comparison = FastOptions();
+  Spr spr(options);
+  const TopKResult result = spr.Run(&platform, 1);
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_EQ(result.items[0], 49);
+}
+
+TEST(SprTest, KEqualsNReturnsFullRanking) {
+  auto dataset = data::MakeUniformLadder(8, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 18);
+  SprOptions options;
+  options.comparison = FastOptions();
+  Spr spr(options);
+  const TopKResult result = spr.Run(&platform, 8);
+  EXPECT_EQ(result.items,
+            (std::vector<ItemId>{7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(SprTest, ReturnsKDistinctValidItems) {
+  auto dataset = data::MakeUniformLadder(80, 1.0, 3.0);  // hard
+  crowd::CrowdPlatform platform(dataset.get(), 19);
+  SprOptions options;
+  options.comparison = FastOptions();
+  options.comparison.budget = 120;
+  Spr spr(options);
+  const TopKResult result = spr.Run(&platform, 10);
+  ASSERT_EQ(result.items.size(), 10u);
+  std::set<ItemId> unique(result.items.begin(), result.items.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (ItemId o : result.items) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 80);
+  }
+}
+
+TEST(SprTest, HighConfidenceGivesHighNdcgOnModerateData) {
+  auto dataset = data::MakeUniformLadder(120, 5.0, 4.0);
+  double total_ndcg = 0.0;
+  const int runs = 5;
+  for (int r = 0; r < runs; ++r) {
+    crowd::CrowdPlatform platform(dataset.get(), 300 + r);
+    SprOptions options;
+    options.comparison = FastOptions();
+    options.comparison.alpha = 0.02;
+    Spr spr(options);
+    const TopKResult result = spr.Run(&platform, 10);
+    total_ndcg += metrics::Ndcg(*dataset, result.items, 10);
+  }
+  EXPECT_GT(total_ndcg / runs, 0.9);
+}
+
+TEST(SprTest, RecursionPathProducesKItems) {
+  // Force the recursion: pick a terrible initial situation by using few
+  // items and a tiny budget so ties + winners < k regularly.
+  auto dataset = data::MakeUniformLadder(30, 0.5, 5.0);
+  crowd::CrowdPlatform platform(dataset.get(), 20);
+  SprOptions options;
+  options.comparison = FastOptions();
+  options.comparison.budget = 60;
+  Spr spr(options);
+  const TopKResult result = spr.Run(&platform, 12);
+  ASSERT_EQ(result.items.size(), 12u);
+  std::set<ItemId> unique(result.items.begin(), result.items.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(SprTest, PrecisionLowerBoundFormula) {
+  EXPECT_DOUBLE_EQ(SprPrecisionLowerBound(0.02, 1.5), 0.98 / 1.5);
+  EXPECT_DOUBLE_EQ(SprPrecisionLowerBound(0.0, 1.0), 1.0);
+}
+
+// ------------------------------------------------------- Interval ranking
+
+TEST(IntervalRankingTest, CertifiesWellSeparatedCandidates) {
+  auto dataset = data::MakeUniformLadder(12, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 61);
+  judgment::ComparisonCache cache(FastOptions());
+  const ItemId reference = 0;
+  const std::vector<ItemId> candidates = {5, 9, 7, 11, 3};
+  const IntervalRankingResult result = RefineByIntervals(
+      candidates, reference, /*refinement_budget=*/20000, &cache, &platform);
+  EXPECT_TRUE(result.fully_certified);
+  EXPECT_EQ(result.ranked, (std::vector<ItemId>{11, 9, 7, 5, 3}));
+  EXPECT_EQ(result.certified_adjacent_pairs, 4);
+}
+
+TEST(IntervalRankingTest, ZeroBudgetStillRanksByMeans) {
+  auto dataset = data::MakeUniformLadder(10, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), 62);
+  judgment::ComparisonCache cache(FastOptions());
+  // Pre-fund comparisons against the reference.
+  for (ItemId o : {2, 4, 6, 8}) cache.Compare(o, 0, &platform);
+  const int64_t funded = platform.total_microtasks();
+  const IntervalRankingResult result =
+      RefineByIntervals({2, 4, 6, 8}, 0, /*refinement_budget=*/0, &cache,
+                        &platform);
+  EXPECT_EQ(result.ranked, (std::vector<ItemId>{8, 6, 4, 2}));
+  EXPECT_EQ(result.refinement_cost, 0);
+  EXPECT_EQ(platform.total_microtasks(), funded);
+}
+
+TEST(IntervalRankingTest, RefinementCertifiesWhatSortingCannot) {
+  // Two candidates whose gap is too small for their default workloads but
+  // resolvable with refinement: buying more reference judgments separates
+  // their intervals without any direct comparison.
+  auto dataset = data::MakeUniformLadder(30, 1.0, 4.0);
+  judgment::ComparisonOptions options = FastOptions();
+  options.budget = 60;  // partition-style funding stops early
+  crowd::CrowdPlatform platform(dataset.get(), 63);
+  judgment::ComparisonCache cache(options);
+  const ItemId reference = 0;
+  const std::vector<ItemId> candidates = {20, 24};
+  const IntervalRankingResult cheap = RefineByIntervals(
+      candidates, reference, /*refinement_budget=*/0, &cache, &platform);
+  const IntervalRankingResult refined = RefineByIntervals(
+      candidates, reference, /*refinement_budget=*/40000, &cache, &platform);
+  EXPECT_GE(refined.certified_adjacent_pairs,
+            cheap.certified_adjacent_pairs);
+  EXPECT_TRUE(refined.fully_certified);
+  EXPECT_EQ(refined.ranked, (std::vector<ItemId>{24, 20}));
+  EXPECT_GT(refined.refinement_cost, 0);
+}
+
+TEST(IntervalRankingTest, BudgetCapRespected) {
+  auto dataset = data::MakeUniformLadder(6, 0.01, 5.0);  // unresolvable
+  crowd::CrowdPlatform platform(dataset.get(), 64);
+  judgment::ComparisonCache cache(FastOptions());
+  const IntervalRankingResult result = RefineByIntervals(
+      {1, 2, 3}, 0, /*refinement_budget=*/500, &cache, &platform);
+  EXPECT_FALSE(result.fully_certified);
+  // Cold starts are charged to the refinement cost; the extra refinement
+  // purchases stop at the budget.
+  EXPECT_LE(result.refinement_cost, 500 + 3 * 30);
+  EXPECT_EQ(result.ranked.size(), 3u);
+}
+
+TEST(IntervalRankingTest, EmptyAndSingleCandidate) {
+  auto dataset = data::MakeUniformLadder(4, 10.0, 1.0);
+  crowd::CrowdPlatform platform(dataset.get(), 65);
+  judgment::ComparisonCache cache(FastOptions());
+  const IntervalRankingResult empty =
+      RefineByIntervals({}, 0, 100, &cache, &platform);
+  EXPECT_TRUE(empty.fully_certified);
+  EXPECT_TRUE(empty.ranked.empty());
+  const IntervalRankingResult single =
+      RefineByIntervals({2}, 0, 100, &cache, &platform);
+  EXPECT_TRUE(single.fully_certified);
+  EXPECT_EQ(single.ranked, (std::vector<ItemId>{2}));
+}
+
+// ---------------------------------------------------------------- Infimum
+
+TEST(InfimumTest, PositiveAndBelowNaiveAllPairs) {
+  auto dataset = data::MakeUniformLadder(30, 5.0, 4.0);
+  judgment::ComparisonOptions options = FastOptions();
+  const InfimumEstimate estimate =
+      EstimateInfimum(*dataset, 5, options, 21, 2);
+  EXPECT_GT(estimate.tmc, 0.0);
+  // At minimum: (N - k) + (k - 1) comparisons of >= I microtasks each.
+  EXPECT_GE(estimate.tmc, (30 - 5 + 5 - 1) * 30.0);
+  EXPECT_GT(estimate.rounds, 0.0);
+}
+
+TEST(InfimumTest, InfimumBelowSprCost) {
+  auto dataset = data::MakeUniformLadder(60, 5.0, 4.0);
+  judgment::ComparisonOptions options = FastOptions();
+  const InfimumEstimate inf = EstimateInfimum(*dataset, 5, options, 22, 2);
+  crowd::CrowdPlatform platform(dataset.get(), 23);
+  SprOptions spr_options;
+  spr_options.comparison = options;
+  Spr spr(spr_options);
+  const TopKResult result = spr.Run(&platform, 5);
+  EXPECT_LT(inf.tmc, static_cast<double>(result.total_microtasks));
+}
+
+TEST(InfimumTest, Lemma4MonotoneInEll) {
+  // TMC_inf(o*_ell) increases as the reference drops further below o*_k.
+  // Noise large enough that near-reference comparisons genuinely cost more
+  // than the cold-start workload (adjacent mean/sd = 0.125).
+  auto dataset = data::MakeUniformLadder(100, 1.0, 8.0);
+  judgment::ComparisonOptions options = FastOptions();
+  const double at_k =
+      EstimateInfimumWithReference(*dataset, 5, 5, options, 24, 3).tmc;
+  const double at_3k =
+      EstimateInfimumWithReference(*dataset, 5, 15, options, 24, 3).tmc;
+  const double at_6k =
+      EstimateInfimumWithReference(*dataset, 5, 30, options, 24, 3).tmc;
+  EXPECT_LT(at_k, at_3k);
+  EXPECT_LT(at_3k, at_6k);
+}
+
+}  // namespace
+}  // namespace crowdtopk::core

@@ -1,0 +1,110 @@
+// Tests for the median-selection strategies (Appendix C / Table 10).
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "core/median.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace crowdtopk::core {
+namespace {
+
+// Value-backed comparator: item a better than b iff value[a] > value[b].
+BetterThan ByValue(const std::vector<double>* value) {
+  return [value](ItemId a, ItemId b) { return (*value)[a] > (*value)[b]; };
+}
+
+// Ground truth: the (ceil(m/2))-th best item.
+ItemId TrueMedian(const std::vector<ItemId>& items,
+                  const std::vector<double>& value) {
+  std::vector<ItemId> sorted = items;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](ItemId a, ItemId b) { return value[a] > value[b]; });
+  return sorted[(sorted.size() + 1) / 2 - 1];
+}
+
+const std::vector<MedianAlgorithm> kAll = {
+    MedianAlgorithm::kBubble, MedianAlgorithm::kSelection,
+    MedianAlgorithm::kMerge, MedianAlgorithm::kHeap,
+    MedianAlgorithm::kQuick};
+
+TEST(MedianTest, SingleItem) {
+  const std::vector<double> value = {3.0};
+  for (auto algorithm : kAll) {
+    const MedianResult result = FindMedian({0}, ByValue(&value), algorithm);
+    EXPECT_EQ(result.median, 0);
+    EXPECT_EQ(result.comparisons, 0);
+  }
+}
+
+TEST(MedianTest, ThreeItems) {
+  const std::vector<double> value = {1.0, 9.0, 5.0};
+  for (auto algorithm : kAll) {
+    const MedianResult result =
+        FindMedian({0, 1, 2}, ByValue(&value), algorithm);
+    EXPECT_EQ(result.median, 2) << MedianAlgorithmName(algorithm);
+  }
+}
+
+class MedianSweep
+    : public ::testing::TestWithParam<std::tuple<MedianAlgorithm, int>> {};
+
+TEST_P(MedianSweep, CorrectAndWithinBound) {
+  const MedianAlgorithm algorithm = std::get<0>(GetParam());
+  const int m = std::get<1>(GetParam());
+  util::Rng rng(1000 + m);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> value(m);
+    for (double& v : value) v = rng.Uniform();
+    std::vector<ItemId> items(m);
+    std::iota(items.begin(), items.end(), 0);
+    rng.Shuffle(&items);
+    const MedianResult result = FindMedian(items, ByValue(&value), algorithm);
+    EXPECT_EQ(result.median, TrueMedian(items, value))
+        << MedianAlgorithmName(algorithm) << " m=" << m;
+    EXPECT_LE(static_cast<double>(result.comparisons),
+              MedianComparisonBound(algorithm, m) + 1e-9)
+        << MedianAlgorithmName(algorithm) << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MedianSweep,
+    ::testing::Combine(
+        ::testing::Values(MedianAlgorithm::kBubble,
+                          MedianAlgorithm::kSelection,
+                          MedianAlgorithm::kMerge, MedianAlgorithm::kHeap,
+                          MedianAlgorithm::kQuick),
+        ::testing::Values(2, 3, 5, 8, 15, 31, 64)));
+
+TEST(MedianTest, BoundsMatchTable10Formulas) {
+  // Spot-check the closed forms at m = 8.
+  EXPECT_DOUBLE_EQ(MedianComparisonBound(MedianAlgorithm::kBubble, 8),
+                   (3.0 * 64 + 8 - 2) / 8.0);
+  EXPECT_DOUBLE_EQ(MedianComparisonBound(MedianAlgorithm::kQuick, 8),
+                   8.0 * 7.0 / 2.0);
+  EXPECT_DOUBLE_EQ(MedianComparisonBound(MedianAlgorithm::kMerge, 8),
+                   3.0 * 8.0 * 3.0);
+  EXPECT_DOUBLE_EQ(MedianComparisonBound(MedianAlgorithm::kHeap, 8),
+                   8.0 + 2.0 * 8.0 * 2.0);
+}
+
+TEST(MedianTest, QuadraticAlgorithmsCostMoreThanLinearithmicAtScale) {
+  util::Rng rng(7);
+  const int m = 63;
+  std::vector<double> value(m);
+  for (double& v : value) v = rng.Uniform();
+  std::vector<ItemId> items(m);
+  std::iota(items.begin(), items.end(), 0);
+  rng.Shuffle(&items);
+  const auto bubble =
+      FindMedian(items, ByValue(&value), MedianAlgorithm::kBubble);
+  const auto heap = FindMedian(items, ByValue(&value), MedianAlgorithm::kHeap);
+  EXPECT_GT(bubble.comparisons, heap.comparisons);
+}
+
+}  // namespace
+}  // namespace crowdtopk::core

@@ -1,0 +1,111 @@
+// Tests for the ranking metrics (NDCG, precision/recall, Kendall tau,
+// Spearman footrule).
+
+#include <vector>
+
+#include "data/gaussian_dataset.h"
+#include "gtest/gtest.h"
+#include "metrics/ranking_metrics.h"
+
+namespace crowdtopk::metrics {
+namespace {
+
+// Scores 9, 8, ..., 0: item i has true rank 10 - i.
+data::GaussianDataset TenItems() {
+  std::vector<double> scores;
+  for (int i = 0; i < 10; ++i) scores.push_back(static_cast<double>(i));
+  return data::GaussianDataset("m", std::move(scores), 1.0, 10.0);
+}
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  data::GaussianDataset dataset = TenItems();
+  const std::vector<crowd::ItemId> perfect = {9, 8, 7, 6, 5};
+  EXPECT_DOUBLE_EQ(Ndcg(dataset, perfect, 5), 1.0);
+}
+
+TEST(NdcgTest, BottomItemsScoreLowButNearMissesGetPartialCredit) {
+  data::GaussianDataset dataset = TenItems();
+  // Items of true rank 10..6: all outside the true top-5, but within the
+  // linear-decay window (rank < 2k + 1 = 11), so a little credit remains.
+  const std::vector<crowd::ItemId> wrong = {0, 1, 2, 3, 4};
+  const double ndcg = Ndcg(dataset, wrong, 5);
+  EXPECT_GT(ndcg, 0.0);
+  EXPECT_LT(ndcg, 0.45);
+  // The strict variant gives no credit outside the true top-k.
+  EXPECT_DOUBLE_EQ(NdcgStrict(dataset, wrong, 5), 0.0);
+}
+
+TEST(NdcgStrictTest, PerfectScoresOneAndDominatedByNdcg) {
+  data::GaussianDataset dataset = TenItems();
+  EXPECT_DOUBLE_EQ(NdcgStrict(dataset, {9, 8, 7, 6, 5}, 5), 1.0);
+  // Strict <= graded for any result.
+  const std::vector<crowd::ItemId> mixed = {9, 4, 7, 2, 5};
+  EXPECT_LE(NdcgStrict(dataset, mixed, 5), Ndcg(dataset, mixed, 5));
+}
+
+TEST(NdcgTest, RightSetWrongOrderIsBetweenZeroAndOne) {
+  data::GaussianDataset dataset = TenItems();
+  const std::vector<crowd::ItemId> reversed = {5, 6, 7, 8, 9};
+  const double ndcg = Ndcg(dataset, reversed, 5);
+  EXPECT_GT(ndcg, 0.5);
+  EXPECT_LT(ndcg, 1.0);
+}
+
+TEST(NdcgTest, SwappingTopPairCostsMoreThanBottomPair) {
+  data::GaussianDataset dataset = TenItems();
+  const double swap_top = Ndcg(dataset, {8, 9, 7, 6, 5}, 5);
+  const double swap_bottom = Ndcg(dataset, {9, 8, 7, 5, 6}, 5);
+  EXPECT_LT(swap_top, swap_bottom);
+}
+
+TEST(NdcgTest, ShortResultPenalised) {
+  data::GaussianDataset dataset = TenItems();
+  const double full = Ndcg(dataset, {9, 8, 7, 6, 5}, 5);
+  const double partial = Ndcg(dataset, {9, 8, 7}, 5);
+  EXPECT_LT(partial, full);
+  EXPECT_GT(partial, 0.0);
+}
+
+TEST(PrecisionRecallTest, CountsTrueTopKMembership) {
+  data::GaussianDataset dataset = TenItems();
+  // 3 of 5 returned are true top-5 (9, 8, 7 yes; 0, 1 no).
+  const std::vector<crowd::ItemId> mixed = {9, 0, 8, 1, 7};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(dataset, mixed, 5), 0.6);
+  EXPECT_DOUBLE_EQ(RecallAtK(dataset, mixed, 5), 0.6);
+}
+
+TEST(PrecisionRecallTest, OrderIrrelevant) {
+  data::GaussianDataset dataset = TenItems();
+  EXPECT_DOUBLE_EQ(PrecisionAtK(dataset, {5, 6, 7, 8, 9}, 5), 1.0);
+}
+
+TEST(KendallTauTest, PerfectAndReversed) {
+  data::GaussianDataset dataset = TenItems();
+  EXPECT_DOUBLE_EQ(KendallTau(dataset, {9, 8, 7, 6}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(dataset, {6, 7, 8, 9}), -1.0);
+}
+
+TEST(KendallTauTest, OneSwap) {
+  data::GaussianDataset dataset = TenItems();
+  // 1 discordant pair of 6 => (5 - 1) / 6.
+  EXPECT_NEAR(KendallTau(dataset, {9, 7, 8, 6}), 4.0 / 6.0, 1e-12);
+}
+
+TEST(SpearmanFootruleTest, ZeroForPerfectOrder) {
+  data::GaussianDataset dataset = TenItems();
+  EXPECT_EQ(SpearmanFootrule(dataset, {9, 8, 7, 6, 5}), 0);
+}
+
+TEST(SpearmanFootruleTest, AdjacentSwapCostsTwo) {
+  data::GaussianDataset dataset = TenItems();
+  EXPECT_EQ(SpearmanFootrule(dataset, {8, 9, 7, 6, 5}), 2);
+}
+
+TEST(SpearmanFootruleTest, FullReversal) {
+  data::GaussianDataset dataset = TenItems();
+  // Reversal of 4 items: |0-3| + |1-2| + |2-1| + |3-0| = 8.
+  EXPECT_EQ(SpearmanFootrule(dataset, {6, 7, 8, 9}), 8);
+}
+
+}  // namespace
+}  // namespace crowdtopk::metrics

@@ -1,0 +1,153 @@
+// Tests for the L-BFGS minimiser.
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "opt/lbfgs.h"
+#include "util/random.h"
+
+namespace crowdtopk::opt {
+namespace {
+
+TEST(LbfgsTest, MinimisesSimpleQuadratic) {
+  // f(x) = sum (x_i - i)^2.
+  const Objective objective = [](const std::vector<double>& x,
+                                 std::vector<double>* gradient) {
+    double f = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      f += d * d;
+      (*gradient)[i] = 2.0 * d;
+    }
+    return f;
+  };
+  const LbfgsResult result = MinimizeLbfgs(objective, {5.0, -3.0, 10.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 0.0, 1e-5);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-5);
+  EXPECT_NEAR(result.x[2], 2.0, 1e-5);
+  EXPECT_NEAR(result.value, 0.0, 1e-9);
+}
+
+TEST(LbfgsTest, MinimisesIllConditionedQuadratic) {
+  // f(x) = 0.5 x' D x with condition number 1e4.
+  const std::vector<double> diag = {1.0, 100.0, 10000.0};
+  const Objective objective = [&](const std::vector<double>& x,
+                                  std::vector<double>* gradient) {
+    double f = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      f += 0.5 * diag[i] * x[i] * x[i];
+      (*gradient)[i] = diag[i] * x[i];
+    }
+    return f;
+  };
+  LbfgsOptions options;
+  options.max_iterations = 200;
+  options.gradient_tolerance = 1e-8;
+  const LbfgsResult result =
+      MinimizeLbfgs(objective, {1.0, 1.0, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 0.0, 1e-6);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-6);
+  EXPECT_NEAR(result.x[2], 0.0, 1e-6);
+}
+
+TEST(LbfgsTest, MinimisesRosenbrock) {
+  const Objective objective = [](const std::vector<double>& x,
+                                 std::vector<double>* gradient) {
+    const double a = x[0], b = x[1];
+    const double f =
+        (1 - a) * (1 - a) + 100.0 * (b - a * a) * (b - a * a);
+    (*gradient)[0] = -2.0 * (1 - a) - 400.0 * a * (b - a * a);
+    (*gradient)[1] = 200.0 * (b - a * a);
+    return f;
+  };
+  LbfgsOptions options;
+  // Armijo-only backtracking (no Wolfe condition) is slow on Rosenbrock's
+  // curved valley; it converges reliably but needs ~700 iterations.
+  options.max_iterations = 2000;
+  options.gradient_tolerance = 1e-8;
+  const LbfgsResult result = MinimizeLbfgs(objective, {-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-4);
+}
+
+TEST(LbfgsTest, RecoversBtlScoresFromVotes) {
+  // Generate BTL votes from known scores and check the fit recovers the
+  // ordering (this is exactly CrowdBT's inner problem).
+  util::Rng rng(1);
+  const std::vector<double> truth = {2.0, 1.0, 0.0, -1.0, -2.0};
+  const int n = static_cast<int>(truth.size());
+  std::vector<std::vector<int>> wins(n, std::vector<int>(n, 0));
+  for (int t = 0; t < 20000; ++t) {
+    const int i = static_cast<int>(rng.UniformInt(n));
+    int j = i;
+    while (j == i) j = static_cast<int>(rng.UniformInt(n));
+    const double p = 1.0 / (1.0 + std::exp(-(truth[i] - truth[j])));
+    if (rng.Bernoulli(p)) {
+      ++wins[i][j];
+    } else {
+      ++wins[j][i];
+    }
+  }
+  const double lambda = 0.01;
+  const Objective objective = [&](const std::vector<double>& s,
+                                  std::vector<double>* gradient) {
+    double nll = 0.0;
+    std::fill(gradient->begin(), gradient->end(), 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (wins[i][j] == 0) continue;
+        const double d = s[i] - s[j];
+        const double sigmoid = 1.0 / (1.0 + std::exp(-d));
+        nll -= wins[i][j] * std::log(std::max(sigmoid, 1e-300));
+        const double g = -wins[i][j] * (1.0 - sigmoid);
+        (*gradient)[i] += g;
+        (*gradient)[j] -= g;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      nll += 0.5 * lambda * s[i] * s[i];
+      (*gradient)[i] += lambda * s[i];
+    }
+    return nll;
+  };
+  const LbfgsResult result =
+      MinimizeLbfgs(objective, std::vector<double>(n, 0.0));
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_GT(result.x[i], result.x[i + 1]) << "i=" << i;
+  }
+  EXPECT_NEAR(result.x[0] - result.x[4], 4.0, 0.35);
+}
+
+TEST(LbfgsTest, AlreadyAtOptimumConvergesImmediately) {
+  const Objective objective = [](const std::vector<double>& x,
+                                 std::vector<double>* gradient) {
+    (*gradient)[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  const LbfgsResult result = MinimizeLbfgs(objective, {0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(LbfgsTest, RespectsIterationCap) {
+  // Slowly converging objective with a tiny iteration cap.
+  const Objective objective = [](const std::vector<double>& x,
+                                 std::vector<double>* gradient) {
+    double f = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      f += std::pow(std::fabs(x[i]), 1.5);
+      (*gradient)[i] = 1.5 * std::pow(std::fabs(x[i]), 0.5) *
+                       (x[i] >= 0 ? 1.0 : -1.0);
+    }
+    return f;
+  };
+  LbfgsOptions options;
+  options.max_iterations = 3;
+  const LbfgsResult result = MinimizeLbfgs(objective, {100.0}, options);
+  EXPECT_LE(result.iterations, 3);
+}
+
+}  // namespace
+}  // namespace crowdtopk::opt

@@ -1,0 +1,226 @@
+// Property-based sweeps over the library's core statistical guarantees:
+// the comparison process hits its confidence level across (alpha, effect
+// size); workloads scale the right way; sorting is exact when comparisons
+// are; SPR is exact across an (N, k) grid on separable data.
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "core/sorting.h"
+#include "core/spr.h"
+#include "crowd/platform.h"
+#include "data/gaussian_dataset.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "judgment/cache.h"
+#include "judgment/comparison.h"
+
+namespace crowdtopk {
+namespace {
+
+// ------------------------ COMP accuracy across alpha and effect size
+
+// Params: (alpha, effect = mean/sd of one judgment).
+class ComparisonGuarantee
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ComparisonGuarantee, AccuracyAtLeastConfidence) {
+  const double alpha = std::get<0>(GetParam());
+  const double effect = std::get<1>(GetParam());
+  // Judgment ~ N(0.1, (0.1/effect)^2) on the preference scale.
+  data::GaussianDataset pair("pair", {0.0, 1.0}, 1.0 / effect, 10.0);
+  judgment::ComparisonOptions options;
+  options.alpha = alpha;
+  options.budget = 1 << 20;
+  options.min_workload = 30;
+  options.batch_size = 30;
+  stats::TCriticalCache t_cache(alpha);
+  crowd::CrowdPlatform platform(&pair,
+                                17 + static_cast<uint64_t>(effect * 100));
+  int correct = 0;
+  const int trials = 150;
+  for (int t = 0; t < trials; ++t) {
+    judgment::ComparisonSession session(1, 0, &options, &t_cache);
+    if (session.RunToCompletion(&platform) ==
+        crowd::ComparisonOutcome::kLeftWins) {
+      ++correct;
+    }
+  }
+  // 1 - alpha minus Monte-Carlo slack (3 sigma of a binomial proportion).
+  const double slack =
+      3.0 * std::sqrt(alpha * (1 - alpha) / trials) + 0.01;
+  EXPECT_GE(correct / static_cast<double>(trials), 1.0 - alpha - slack)
+      << "alpha=" << alpha << " effect=" << effect;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ComparisonGuarantee,
+    ::testing::Combine(::testing::Values(0.2, 0.1, 0.05, 0.02),
+                       ::testing::Values(0.3, 0.6, 1.5)));
+
+// ----------------------------------- Workload monotone in difficulty
+
+TEST(WorkloadScalingTest, HarderPairsCostMore) {
+  judgment::ComparisonOptions options;
+  options.alpha = 0.05;
+  options.budget = 1 << 20;
+  options.batch_size = 1;
+  stats::TCriticalCache t_cache(options.alpha);
+  double previous = 0.0;
+  for (double effect : {2.0, 1.0, 0.5, 0.25}) {
+    data::GaussianDataset pair("pair", {0.0, 1.0}, 1.0 / effect, 10.0);
+    crowd::CrowdPlatform platform(&pair, 23);
+    double total = 0.0;
+    for (int t = 0; t < 40; ++t) {
+      judgment::ComparisonSession session(1, 0, &options, &t_cache);
+      session.RunToCompletion(&platform);
+      total += static_cast<double>(session.workload());
+    }
+    EXPECT_GE(total, previous) << "effect=" << effect;
+    previous = total;
+  }
+}
+
+TEST(WorkloadScalingTest, InverseSquareLaw) {
+  // n ~ (z sigma / mu)^2: quadrupling the difficulty ratio should raise the
+  // mean workload by roughly 16x (modulo the cold-start floor).
+  judgment::ComparisonOptions options;
+  options.alpha = 0.05;
+  options.budget = 1 << 22;
+  options.min_workload = 5;  // lower the floor to expose the law
+  options.batch_size = 1;
+  stats::TCriticalCache t_cache(options.alpha);
+  auto mean_workload = [&](double effect, uint64_t seed) {
+    data::GaussianDataset pair("pair", {0.0, 1.0}, 1.0 / effect, 10.0);
+    crowd::CrowdPlatform platform(&pair, seed);
+    double total = 0.0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+      judgment::ComparisonSession session(1, 0, &options, &t_cache);
+      session.RunToCompletion(&platform);
+      total += static_cast<double>(session.workload());
+    }
+    return total / trials;
+  };
+  const double easy = mean_workload(0.4, 31);
+  const double hard = mean_workload(0.1, 32);
+  EXPECT_GT(hard / easy, 6.0);   // well above linear
+  EXPECT_LT(hard / easy, 40.0);  // and in the right ballpark of 16x
+}
+
+// ------------------------------------ ConfirmSort exactness sweep
+
+class SortExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortExactness, SortsRandomPermutationsOfSeparableItems) {
+  const int n = GetParam();
+  auto dataset = data::MakeUniformLadder(n, 10.0, 1.5);
+  judgment::ComparisonOptions options;
+  options.alpha = 0.02;
+  options.budget = 2000;
+  options.batch_size = 30;
+  for (int trial = 0; trial < 4; ++trial) {
+    crowd::CrowdPlatform platform(dataset.get(),
+                                  1000 + trial * 37 + n);
+    judgment::ComparisonCache cache(options);
+    std::vector<crowd::ItemId> items(n);
+    for (int i = 0; i < n; ++i) items[i] = i;
+    platform.rng()->Shuffle(&items);
+    core::ConfirmSort(&items, &cache, &platform);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(items[i], n - 1 - i) << "n=" << n << " pos=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SortExactness,
+                         ::testing::Values(2, 3, 5, 9, 16, 25));
+
+// ----------------------------------------- SPR exactness (N, k) grid
+
+class SprGrid : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SprGrid, ExactOnSeparableData) {
+  const int n = std::get<0>(GetParam());
+  const int k = std::get<1>(GetParam());
+  if (k > n) GTEST_SKIP();
+  auto dataset = data::MakeUniformLadder(n, 10.0, 2.0);
+  core::SprOptions options;
+  options.comparison.alpha = 0.02;
+  options.comparison.budget = 2000;
+  options.comparison.batch_size = 30;
+  core::Spr spr(options);
+  crowd::CrowdPlatform platform(dataset.get(), 42 + n * 100 + k);
+  const core::TopKResult result = spr.Run(&platform, k);
+  ASSERT_EQ(result.items.size(), static_cast<size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    EXPECT_EQ(result.items[p], n - 1 - p) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SprGrid,
+                         ::testing::Combine(::testing::Values(10, 25, 60,
+                                                              120),
+                                            ::testing::Values(1, 3, 8, 20)));
+
+// ------------------------------- Estimator agreement (Student ~ Stein)
+
+TEST(EstimatorAgreementTest, SteinWithinTwoXOfStudent) {
+  judgment::ComparisonOptions student;
+  student.alpha = 0.05;
+  student.budget = 1 << 20;
+  student.batch_size = 1;
+  judgment::ComparisonOptions stein = student;
+  stein.estimator = judgment::Estimator::kStein;
+
+  data::GaussianDataset pair("pair", {0.0, 1.0}, 2.5, 10.0);
+  double workloads[2] = {0.0, 0.0};
+  int index = 0;
+  for (const auto* options : {&student, &stein}) {
+    stats::TCriticalCache t_cache(options->alpha);
+    crowd::CrowdPlatform platform(&pair, 77);
+    for (int t = 0; t < 50; ++t) {
+      judgment::ComparisonSession session(1, 0, options, &t_cache);
+      session.RunToCompletion(&platform);
+      workloads[index] += static_cast<double>(session.workload());
+    }
+    ++index;
+  }
+  EXPECT_LT(workloads[1], 2.0 * workloads[0]);
+  EXPECT_LT(workloads[0], 2.0 * workloads[1]);
+}
+
+// ------------------------------------- Budget cap invariant everywhere
+
+class BudgetCap : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetCap, NoSessionEverExceedsB) {
+  const int budget = GetParam();
+  auto dataset = data::MakeUniformLadder(20, 0.2, 5.0);  // very hard
+  judgment::ComparisonOptions options;
+  options.alpha = 0.02;
+  options.budget = budget;
+  options.min_workload = std::min<int64_t>(30, budget);
+  options.batch_size = 30;
+  crowd::CrowdPlatform platform(dataset.get(), 5 + budget);
+  judgment::ComparisonCache cache(options);
+  core::SprOptions spr_options;
+  spr_options.comparison = options;
+  core::Spr spr(spr_options);
+  std::vector<crowd::ItemId> items(20);
+  for (int i = 0; i < 20; ++i) items[i] = i;
+  spr.RunOnItems(items, 5, &cache, &platform);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = i + 1; j < 20; ++j) {
+      EXPECT_LE(cache.Workload(i, j), budget);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BudgetCap,
+                         ::testing::Values(30, 45, 100, 300));
+
+}  // namespace
+}  // namespace crowdtopk
