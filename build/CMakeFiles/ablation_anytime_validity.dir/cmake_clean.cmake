@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anytime_validity.dir/bench/ablation_anytime_validity.cc.o"
+  "CMakeFiles/ablation_anytime_validity.dir/bench/ablation_anytime_validity.cc.o.d"
+  "bench/ablation_anytime_validity"
+  "bench/ablation_anytime_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anytime_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

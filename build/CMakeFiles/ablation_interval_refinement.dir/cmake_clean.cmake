@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interval_refinement.dir/bench/ablation_interval_refinement.cc.o"
+  "CMakeFiles/ablation_interval_refinement.dir/bench/ablation_interval_refinement.cc.o.d"
+  "bench/ablation_interval_refinement"
+  "bench/ablation_interval_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interval_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_marketplace.dir/bench/ablation_marketplace.cc.o"
+  "CMakeFiles/ablation_marketplace.dir/bench/ablation_marketplace.cc.o.d"
+  "bench/ablation_marketplace"
+  "bench/ablation_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_one_sided.dir/bench/ablation_one_sided.cc.o"
+  "CMakeFiles/ablation_one_sided.dir/bench/ablation_one_sided.cc.o.d"
+  "bench/ablation_one_sided"
+  "bench/ablation_one_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_one_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_worker_quality.dir/bench/ablation_worker_quality.cc.o"
+  "CMakeFiles/ablation_worker_quality.dir/bench/ablation_worker_quality.cc.o.d"
+  "bench/ablation_worker_quality"
+  "bench/ablation_worker_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_worker_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vary_n.dir/bench/fig09_vary_n.cc.o"
+  "CMakeFiles/fig09_vary_n.dir/bench/fig09_vary_n.cc.o.d"
+  "bench/fig09_vary_n"
+  "bench/fig09_vary_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vary_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

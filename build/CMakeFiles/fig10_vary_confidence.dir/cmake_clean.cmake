@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vary_confidence.dir/bench/fig10_vary_confidence.cc.o"
+  "CMakeFiles/fig10_vary_confidence.dir/bench/fig10_vary_confidence.cc.o.d"
+  "bench/fig10_vary_confidence"
+  "bench/fig10_vary_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vary_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vary_budget.dir/bench/fig11_vary_budget.cc.o"
+  "CMakeFiles/fig11_vary_budget.dir/bench/fig11_vary_budget.cc.o.d"
+  "bench/fig11_vary_budget"
+  "bench/fig11_vary_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vary_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_nonconfidence.dir/bench/fig14_nonconfidence.cc.o"
+  "CMakeFiles/fig14_nonconfidence.dir/bench/fig14_nonconfidence.cc.o.d"
+  "bench/fig14_nonconfidence"
+  "bench/fig14_nonconfidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nonconfidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_nb_minus_n.dir/bench/fig15_nb_minus_n.cc.o"
+  "CMakeFiles/fig15_nb_minus_n.dir/bench/fig15_nb_minus_n.cc.o.d"
+  "bench/fig15_nb_minus_n"
+  "bench/fig15_nb_minus_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_nb_minus_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

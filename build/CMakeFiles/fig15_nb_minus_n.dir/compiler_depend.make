@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_nb_minus_n.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sweet_spot.dir/bench/fig16_sweet_spot.cc.o"
+  "CMakeFiles/fig16_sweet_spot.dir/bench/fig16_sweet_spot.cc.o.d"
+  "bench/fig16_sweet_spot"
+  "bench/fig16_sweet_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sweet_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

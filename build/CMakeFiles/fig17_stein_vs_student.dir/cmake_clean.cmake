@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_stein_vs_student.dir/bench/fig17_stein_vs_student.cc.o"
+  "CMakeFiles/fig17_stein_vs_student.dir/bench/fig17_stein_vs_student.cc.o.d"
+  "bench/fig17_stein_vs_student"
+  "bench/fig17_stein_vs_student.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_stein_vs_student.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

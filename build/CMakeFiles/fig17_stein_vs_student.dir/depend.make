@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_stein_vs_student.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_21_jester_photo.dir/bench/fig18_21_jester_photo.cc.o"
+  "CMakeFiles/fig18_21_jester_photo.dir/bench/fig18_21_jester_photo.cc.o.d"
+  "bench/fig18_21_jester_photo"
+  "bench/fig18_21_jester_photo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_21_jester_photo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

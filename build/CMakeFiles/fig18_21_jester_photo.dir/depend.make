@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_21_jester_photo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stats.dir/bench/micro_stats.cc.o"
+  "CMakeFiles/micro_stats.dir/bench/micro_stats.cc.o.d"
+  "bench/micro_stats"
+  "bench/micro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

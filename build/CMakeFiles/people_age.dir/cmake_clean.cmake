@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/people_age.dir/bench/people_age.cc.o"
+  "CMakeFiles/people_age.dir/bench/people_age.cc.o.d"
+  "bench/people_age"
+  "bench/people_age.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/people_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for people_age.
+# This may be replaced when dependencies are built.

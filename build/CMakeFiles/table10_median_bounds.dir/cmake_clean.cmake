@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_median_bounds.dir/bench/table10_median_bounds.cc.o"
+  "CMakeFiles/table10_median_bounds.dir/bench/table10_median_bounds.cc.o.d"
+  "bench/table10_median_bounds"
+  "bench/table10_median_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_median_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_reference_change.dir/bench/table4_reference_change.cc.o"
+  "CMakeFiles/table4_reference_change.dir/bench/table4_reference_change.cc.o.d"
+  "bench/table4_reference_change"
+  "bench/table4_reference_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_reference_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_tmc.dir/bench/table7_tmc.cc.o"
+  "CMakeFiles/table7_tmc.dir/bench/table7_tmc.cc.o.d"
+  "bench/table7_tmc"
+  "bench/table7_tmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_tmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_cli.dir/crowdtopk_cli.cc.o"
+  "CMakeFiles/crowdtopk_cli.dir/crowdtopk_cli.cc.o.d"
+  "crowdtopk_cli"
+  "crowdtopk_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crowdtopk_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_topk.dir/movie_topk.cc.o"
+  "CMakeFiles/movie_topk.dir/movie_topk.cc.o.d"
+  "movie_topk"
+  "movie_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soccer_award.dir/soccer_award.cc.o"
+  "CMakeFiles/soccer_award.dir/soccer_award.cc.o.d"
+  "soccer_award"
+  "soccer_award.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soccer_award.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

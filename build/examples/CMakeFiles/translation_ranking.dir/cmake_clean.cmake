@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_ranking.dir/translation_ranking.cc.o"
+  "CMakeFiles/translation_ranking.dir/translation_ranking.cc.o.d"
+  "translation_ranking"
+  "translation_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/crowd_bt.cc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/crowd_bt.cc.o" "gcc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/crowd_bt.cc.o.d"
+  "/root/repo/src/baselines/heap_sort.cc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/heap_sort.cc.o" "gcc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/heap_sort.cc.o.d"
+  "/root/repo/src/baselines/hybrid.cc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/hybrid.cc.o" "gcc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/hybrid.cc.o.d"
+  "/root/repo/src/baselines/pbr.cc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/pbr.cc.o" "gcc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/pbr.cc.o.d"
+  "/root/repo/src/baselines/quick_select.cc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/quick_select.cc.o" "gcc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/quick_select.cc.o.d"
+  "/root/repo/src/baselines/tournament_tree.cc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/tournament_tree.cc.o" "gcc" "src/baselines/CMakeFiles/crowdtopk_baselines.dir/tournament_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crowdtopk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/judgment/CMakeFiles/crowdtopk_judgment.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/crowdtopk_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdtopk_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/crowdtopk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtopk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdtopk_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

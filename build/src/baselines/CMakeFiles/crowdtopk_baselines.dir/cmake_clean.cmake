@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_baselines.dir/crowd_bt.cc.o"
+  "CMakeFiles/crowdtopk_baselines.dir/crowd_bt.cc.o.d"
+  "CMakeFiles/crowdtopk_baselines.dir/heap_sort.cc.o"
+  "CMakeFiles/crowdtopk_baselines.dir/heap_sort.cc.o.d"
+  "CMakeFiles/crowdtopk_baselines.dir/hybrid.cc.o"
+  "CMakeFiles/crowdtopk_baselines.dir/hybrid.cc.o.d"
+  "CMakeFiles/crowdtopk_baselines.dir/pbr.cc.o"
+  "CMakeFiles/crowdtopk_baselines.dir/pbr.cc.o.d"
+  "CMakeFiles/crowdtopk_baselines.dir/quick_select.cc.o"
+  "CMakeFiles/crowdtopk_baselines.dir/quick_select.cc.o.d"
+  "CMakeFiles/crowdtopk_baselines.dir/tournament_tree.cc.o"
+  "CMakeFiles/crowdtopk_baselines.dir/tournament_tree.cc.o.d"
+  "libcrowdtopk_baselines.a"
+  "libcrowdtopk_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/infimum.cc" "src/core/CMakeFiles/crowdtopk_core.dir/infimum.cc.o" "gcc" "src/core/CMakeFiles/crowdtopk_core.dir/infimum.cc.o.d"
+  "/root/repo/src/core/interval_ranking.cc" "src/core/CMakeFiles/crowdtopk_core.dir/interval_ranking.cc.o" "gcc" "src/core/CMakeFiles/crowdtopk_core.dir/interval_ranking.cc.o.d"
+  "/root/repo/src/core/latency_bounds.cc" "src/core/CMakeFiles/crowdtopk_core.dir/latency_bounds.cc.o" "gcc" "src/core/CMakeFiles/crowdtopk_core.dir/latency_bounds.cc.o.d"
+  "/root/repo/src/core/median.cc" "src/core/CMakeFiles/crowdtopk_core.dir/median.cc.o" "gcc" "src/core/CMakeFiles/crowdtopk_core.dir/median.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/crowdtopk_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/crowdtopk_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/select_reference.cc" "src/core/CMakeFiles/crowdtopk_core.dir/select_reference.cc.o" "gcc" "src/core/CMakeFiles/crowdtopk_core.dir/select_reference.cc.o.d"
+  "/root/repo/src/core/sorting.cc" "src/core/CMakeFiles/crowdtopk_core.dir/sorting.cc.o" "gcc" "src/core/CMakeFiles/crowdtopk_core.dir/sorting.cc.o.d"
+  "/root/repo/src/core/spr.cc" "src/core/CMakeFiles/crowdtopk_core.dir/spr.cc.o" "gcc" "src/core/CMakeFiles/crowdtopk_core.dir/spr.cc.o.d"
+  "/root/repo/src/core/tournament.cc" "src/core/CMakeFiles/crowdtopk_core.dir/tournament.cc.o" "gcc" "src/core/CMakeFiles/crowdtopk_core.dir/tournament.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/judgment/CMakeFiles/crowdtopk_judgment.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdtopk_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdtopk_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/crowdtopk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

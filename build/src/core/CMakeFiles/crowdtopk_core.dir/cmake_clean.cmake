@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_core.dir/infimum.cc.o"
+  "CMakeFiles/crowdtopk_core.dir/infimum.cc.o.d"
+  "CMakeFiles/crowdtopk_core.dir/interval_ranking.cc.o"
+  "CMakeFiles/crowdtopk_core.dir/interval_ranking.cc.o.d"
+  "CMakeFiles/crowdtopk_core.dir/latency_bounds.cc.o"
+  "CMakeFiles/crowdtopk_core.dir/latency_bounds.cc.o.d"
+  "CMakeFiles/crowdtopk_core.dir/median.cc.o"
+  "CMakeFiles/crowdtopk_core.dir/median.cc.o.d"
+  "CMakeFiles/crowdtopk_core.dir/partition.cc.o"
+  "CMakeFiles/crowdtopk_core.dir/partition.cc.o.d"
+  "CMakeFiles/crowdtopk_core.dir/select_reference.cc.o"
+  "CMakeFiles/crowdtopk_core.dir/select_reference.cc.o.d"
+  "CMakeFiles/crowdtopk_core.dir/sorting.cc.o"
+  "CMakeFiles/crowdtopk_core.dir/sorting.cc.o.d"
+  "CMakeFiles/crowdtopk_core.dir/spr.cc.o"
+  "CMakeFiles/crowdtopk_core.dir/spr.cc.o.d"
+  "CMakeFiles/crowdtopk_core.dir/tournament.cc.o"
+  "CMakeFiles/crowdtopk_core.dir/tournament.cc.o.d"
+  "libcrowdtopk_core.a"
+  "libcrowdtopk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

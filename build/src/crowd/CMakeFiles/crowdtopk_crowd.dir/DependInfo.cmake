@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/oracle.cc" "src/crowd/CMakeFiles/crowdtopk_crowd.dir/oracle.cc.o" "gcc" "src/crowd/CMakeFiles/crowdtopk_crowd.dir/oracle.cc.o.d"
+  "/root/repo/src/crowd/platform.cc" "src/crowd/CMakeFiles/crowdtopk_crowd.dir/platform.cc.o" "gcc" "src/crowd/CMakeFiles/crowdtopk_crowd.dir/platform.cc.o.d"
+  "/root/repo/src/crowd/simulator.cc" "src/crowd/CMakeFiles/crowdtopk_crowd.dir/simulator.cc.o" "gcc" "src/crowd/CMakeFiles/crowdtopk_crowd.dir/simulator.cc.o.d"
+  "/root/repo/src/crowd/workers.cc" "src/crowd/CMakeFiles/crowdtopk_crowd.dir/workers.cc.o" "gcc" "src/crowd/CMakeFiles/crowdtopk_crowd.dir/workers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_crowd.dir/oracle.cc.o"
+  "CMakeFiles/crowdtopk_crowd.dir/oracle.cc.o.d"
+  "CMakeFiles/crowdtopk_crowd.dir/platform.cc.o"
+  "CMakeFiles/crowdtopk_crowd.dir/platform.cc.o.d"
+  "CMakeFiles/crowdtopk_crowd.dir/simulator.cc.o"
+  "CMakeFiles/crowdtopk_crowd.dir/simulator.cc.o.d"
+  "CMakeFiles/crowdtopk_crowd.dir/workers.cc.o"
+  "CMakeFiles/crowdtopk_crowd.dir/workers.cc.o.d"
+  "libcrowdtopk_crowd.a"
+  "libcrowdtopk_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

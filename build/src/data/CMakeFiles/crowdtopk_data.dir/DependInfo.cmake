@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/crowdtopk_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/crowdtopk_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/gaussian_dataset.cc" "src/data/CMakeFiles/crowdtopk_data.dir/gaussian_dataset.cc.o" "gcc" "src/data/CMakeFiles/crowdtopk_data.dir/gaussian_dataset.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/crowdtopk_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/crowdtopk_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/histogram_dataset.cc" "src/data/CMakeFiles/crowdtopk_data.dir/histogram_dataset.cc.o" "gcc" "src/data/CMakeFiles/crowdtopk_data.dir/histogram_dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/crowdtopk_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/crowdtopk_data.dir/io.cc.o.d"
+  "/root/repo/src/data/pair_record_dataset.cc" "src/data/CMakeFiles/crowdtopk_data.dir/pair_record_dataset.cc.o" "gcc" "src/data/CMakeFiles/crowdtopk_data.dir/pair_record_dataset.cc.o.d"
+  "/root/repo/src/data/subset_dataset.cc" "src/data/CMakeFiles/crowdtopk_data.dir/subset_dataset.cc.o" "gcc" "src/data/CMakeFiles/crowdtopk_data.dir/subset_dataset.cc.o.d"
+  "/root/repo/src/data/user_matrix_dataset.cc" "src/data/CMakeFiles/crowdtopk_data.dir/user_matrix_dataset.cc.o" "gcc" "src/data/CMakeFiles/crowdtopk_data.dir/user_matrix_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crowd/CMakeFiles/crowdtopk_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtopk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/crowdtopk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

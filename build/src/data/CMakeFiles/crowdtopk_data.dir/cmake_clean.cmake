@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_data.dir/dataset.cc.o"
+  "CMakeFiles/crowdtopk_data.dir/dataset.cc.o.d"
+  "CMakeFiles/crowdtopk_data.dir/gaussian_dataset.cc.o"
+  "CMakeFiles/crowdtopk_data.dir/gaussian_dataset.cc.o.d"
+  "CMakeFiles/crowdtopk_data.dir/generators.cc.o"
+  "CMakeFiles/crowdtopk_data.dir/generators.cc.o.d"
+  "CMakeFiles/crowdtopk_data.dir/histogram_dataset.cc.o"
+  "CMakeFiles/crowdtopk_data.dir/histogram_dataset.cc.o.d"
+  "CMakeFiles/crowdtopk_data.dir/io.cc.o"
+  "CMakeFiles/crowdtopk_data.dir/io.cc.o.d"
+  "CMakeFiles/crowdtopk_data.dir/pair_record_dataset.cc.o"
+  "CMakeFiles/crowdtopk_data.dir/pair_record_dataset.cc.o.d"
+  "CMakeFiles/crowdtopk_data.dir/subset_dataset.cc.o"
+  "CMakeFiles/crowdtopk_data.dir/subset_dataset.cc.o.d"
+  "CMakeFiles/crowdtopk_data.dir/user_matrix_dataset.cc.o"
+  "CMakeFiles/crowdtopk_data.dir/user_matrix_dataset.cc.o.d"
+  "libcrowdtopk_data.a"
+  "libcrowdtopk_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdtopk_data.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/judgment/cache.cc" "src/judgment/CMakeFiles/crowdtopk_judgment.dir/cache.cc.o" "gcc" "src/judgment/CMakeFiles/crowdtopk_judgment.dir/cache.cc.o.d"
+  "/root/repo/src/judgment/comparison.cc" "src/judgment/CMakeFiles/crowdtopk_judgment.dir/comparison.cc.o" "gcc" "src/judgment/CMakeFiles/crowdtopk_judgment.dir/comparison.cc.o.d"
+  "/root/repo/src/judgment/graded.cc" "src/judgment/CMakeFiles/crowdtopk_judgment.dir/graded.cc.o" "gcc" "src/judgment/CMakeFiles/crowdtopk_judgment.dir/graded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crowd/CMakeFiles/crowdtopk_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/crowdtopk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

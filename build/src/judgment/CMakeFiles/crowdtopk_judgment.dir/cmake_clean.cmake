@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_judgment.dir/cache.cc.o"
+  "CMakeFiles/crowdtopk_judgment.dir/cache.cc.o.d"
+  "CMakeFiles/crowdtopk_judgment.dir/comparison.cc.o"
+  "CMakeFiles/crowdtopk_judgment.dir/comparison.cc.o.d"
+  "CMakeFiles/crowdtopk_judgment.dir/graded.cc.o"
+  "CMakeFiles/crowdtopk_judgment.dir/graded.cc.o.d"
+  "libcrowdtopk_judgment.a"
+  "libcrowdtopk_judgment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_judgment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_metrics.dir/ranking_metrics.cc.o"
+  "CMakeFiles/crowdtopk_metrics.dir/ranking_metrics.cc.o.d"
+  "libcrowdtopk_metrics.a"
+  "libcrowdtopk_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for crowdtopk_metrics.
+# This may be replaced when dependencies are built.

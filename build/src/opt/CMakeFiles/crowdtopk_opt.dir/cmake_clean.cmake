@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_opt.dir/lbfgs.cc.o"
+  "CMakeFiles/crowdtopk_opt.dir/lbfgs.cc.o.d"
+  "libcrowdtopk_opt.a"
+  "libcrowdtopk_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

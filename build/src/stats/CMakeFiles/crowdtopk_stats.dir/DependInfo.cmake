@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/anytime.cc" "src/stats/CMakeFiles/crowdtopk_stats.dir/anytime.cc.o" "gcc" "src/stats/CMakeFiles/crowdtopk_stats.dir/anytime.cc.o.d"
+  "/root/repo/src/stats/binomial.cc" "src/stats/CMakeFiles/crowdtopk_stats.dir/binomial.cc.o" "gcc" "src/stats/CMakeFiles/crowdtopk_stats.dir/binomial.cc.o.d"
+  "/root/repo/src/stats/hoeffding.cc" "src/stats/CMakeFiles/crowdtopk_stats.dir/hoeffding.cc.o" "gcc" "src/stats/CMakeFiles/crowdtopk_stats.dir/hoeffding.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/stats/CMakeFiles/crowdtopk_stats.dir/normal.cc.o" "gcc" "src/stats/CMakeFiles/crowdtopk_stats.dir/normal.cc.o.d"
+  "/root/repo/src/stats/running_stats.cc" "src/stats/CMakeFiles/crowdtopk_stats.dir/running_stats.cc.o" "gcc" "src/stats/CMakeFiles/crowdtopk_stats.dir/running_stats.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/stats/CMakeFiles/crowdtopk_stats.dir/special_functions.cc.o" "gcc" "src/stats/CMakeFiles/crowdtopk_stats.dir/special_functions.cc.o.d"
+  "/root/repo/src/stats/student_t.cc" "src/stats/CMakeFiles/crowdtopk_stats.dir/student_t.cc.o" "gcc" "src/stats/CMakeFiles/crowdtopk_stats.dir/student_t.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_stats.dir/anytime.cc.o"
+  "CMakeFiles/crowdtopk_stats.dir/anytime.cc.o.d"
+  "CMakeFiles/crowdtopk_stats.dir/binomial.cc.o"
+  "CMakeFiles/crowdtopk_stats.dir/binomial.cc.o.d"
+  "CMakeFiles/crowdtopk_stats.dir/hoeffding.cc.o"
+  "CMakeFiles/crowdtopk_stats.dir/hoeffding.cc.o.d"
+  "CMakeFiles/crowdtopk_stats.dir/normal.cc.o"
+  "CMakeFiles/crowdtopk_stats.dir/normal.cc.o.d"
+  "CMakeFiles/crowdtopk_stats.dir/running_stats.cc.o"
+  "CMakeFiles/crowdtopk_stats.dir/running_stats.cc.o.d"
+  "CMakeFiles/crowdtopk_stats.dir/special_functions.cc.o"
+  "CMakeFiles/crowdtopk_stats.dir/special_functions.cc.o.d"
+  "CMakeFiles/crowdtopk_stats.dir/student_t.cc.o"
+  "CMakeFiles/crowdtopk_stats.dir/student_t.cc.o.d"
+  "libcrowdtopk_stats.a"
+  "libcrowdtopk_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtopk_util.dir/env.cc.o"
+  "CMakeFiles/crowdtopk_util.dir/env.cc.o.d"
+  "CMakeFiles/crowdtopk_util.dir/random.cc.o"
+  "CMakeFiles/crowdtopk_util.dir/random.cc.o.d"
+  "CMakeFiles/crowdtopk_util.dir/status.cc.o"
+  "CMakeFiles/crowdtopk_util.dir/status.cc.o.d"
+  "CMakeFiles/crowdtopk_util.dir/table.cc.o"
+  "CMakeFiles/crowdtopk_util.dir/table.cc.o.d"
+  "libcrowdtopk_util.a"
+  "libcrowdtopk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtopk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/judgment_test.dir/judgment_test.cc.o"
+  "CMakeFiles/judgment_test.dir/judgment_test.cc.o.d"
+  "judgment_test"
+  "judgment_test.pdb"
+  "judgment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/judgment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

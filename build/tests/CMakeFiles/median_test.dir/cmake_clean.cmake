@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/median_test.dir/median_test.cc.o"
+  "CMakeFiles/median_test.dir/median_test.cc.o.d"
+  "median_test"
+  "median_test.pdb"
+  "median_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/median_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

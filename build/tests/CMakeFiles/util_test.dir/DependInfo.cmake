@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/util_test.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/crowdtopk_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/crowdtopk_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/crowdtopk_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crowdtopk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdtopk_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/judgment/CMakeFiles/crowdtopk_judgment.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/crowdtopk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdtopk_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
