@@ -2,14 +2,23 @@
 //
 // Every bench binary prints the rows of one paper table/figure. Common knobs
 // come from the environment so the binaries run argument-free:
-//   CROWDTOPK_RUNS  repetitions per experiment point (paper: 100; default
-//                   here is smaller so a full `for b in bench/*` sweep
-//                   finishes quickly on one core)
-//   CROWDTOPK_SEED  master seed (default 20170514)
+//   CROWDTOPK_RUNS   repetitions per experiment point (paper: 100; default
+//                    here is smaller so a full `for b in bench/*` sweep
+//                    finishes quickly on one core)
+//   CROWDTOPK_SEED   master seed (default 20170514)
+//   CROWDTOPK_TRACE  =1 attaches a telemetry recorder to traced runs and
+//                    writes a JSONL trace + per-phase CSV per experiment
+//                    point into CROWDTOPK_TRACE_DIR (default "."); set
+//                    CROWDTOPK_TRACE_ALL_RUNS=1 to trace every repetition
+//                    instead of just the first. Before dumping, the
+//                    harness CHECKs that the trace's per-phase TMC/round
+//                    totals equal the platform's aggregate counters.
+//                    Schema and reduction recipes: docs/OBSERVABILITY.md.
 
 #ifndef CROWDTOPK_BENCH_HARNESS_H_
 #define CROWDTOPK_BENCH_HARNESS_H_
 
+#include <cctype>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -26,6 +35,10 @@
 #include "data/dataset.h"
 #include "data/generators.h"
 #include "metrics/ranking_metrics.h"
+#include "metrics/trace_aggregate.h"
+#include "telemetry/export.h"
+#include "telemetry/recorder.h"
+#include "util/check.h"
 #include "util/env.h"
 #include "util/random.h"
 #include "util/table.h"
@@ -52,16 +65,72 @@ struct Averages {
   double precision = 0.0;
 };
 
+// Sanitises a display name ("SPR", "TourTree") into a file-name token.
+inline std::string TraceFileToken(const std::string& name) {
+  std::string token;
+  for (char c : name) {
+    token += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(std::tolower(c))
+                 : '_';
+  }
+  return token.empty() ? "algo" : token;
+}
+
+// Monotone id distinguishing the experiment points of one bench binary
+// (each AverageRuns call is one point).
+inline int64_t NextTracePointId() {
+  static int64_t next = 0;
+  return next++;
+}
+
+// Verifies the trace agrees with the platform's own accounting, then dumps
+// `<dir>/<bench>_<algo>_p<point>_r<run>.trace.jsonl` plus a sibling
+// `.phases.csv` with the rolled-up per-phase TMC/latency decomposition.
+inline void DumpTrace(const telemetry::TraceRecorder& recorder,
+                      const crowd::CrowdPlatform& platform,
+                      const std::string& algorithm_name, int64_t point,
+                      int64_t run) {
+  const metrics::PhaseStat totals =
+      metrics::TraceTotals(recorder.events());
+  CROWDTOPK_CHECK_EQ(totals.microtasks, platform.total_microtasks());
+  CROWDTOPK_CHECK_EQ(totals.rounds, platform.rounds());
+
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), "_p%lld_r%lld",
+                static_cast<long long>(point), static_cast<long long>(run));
+  const std::string stem = util::TraceDir() + "/" + util::ProgramName() +
+                           "_" + TraceFileToken(algorithm_name) + suffix;
+  const util::Status status =
+      telemetry::WriteJsonlFile(recorder.events(), stem + ".trace.jsonl");
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+    return;
+  }
+  metrics::PhaseTable(metrics::AggregateByPhaseRollup(recorder.events()),
+                      algorithm_name)
+      .WriteCsv(stem + ".phases.csv");
+  std::fprintf(stderr, "trace: wrote %s.trace.jsonl\n", stem.c_str());
+}
+
 // Runs `algorithm` `runs` times on fresh platforms (seeds derived from
-// `seed`) and averages cost, latency, and quality.
+// `seed`) and averages cost, latency, and quality. With CROWDTOPK_TRACE=1
+// each traced run additionally dumps a telemetry trace (see DumpTrace).
 inline Averages AverageRuns(const data::Dataset& dataset,
                             core::TopKAlgorithm* algorithm, int64_t k,
                             int64_t runs, uint64_t seed) {
   Averages averages;
   util::Rng seeder(seed);
+  const bool trace = util::TraceEnabled();
+  const bool trace_all = trace && util::TraceAllRuns();
+  const int64_t point = trace ? NextTracePointId() : 0;
   for (int64_t r = 0; r < runs; ++r) {
     crowd::CrowdPlatform platform(&dataset, seeder.NextUint64());
+    telemetry::TraceRecorder recorder;
+    if (trace && (trace_all || r == 0)) platform.SetRecorder(&recorder);
     const core::TopKResult result = algorithm->Run(&platform, k);
+    if (platform.recorder() != nullptr) {
+      DumpTrace(recorder, platform, algorithm->name(), point, r);
+    }
     averages.tmc += static_cast<double>(result.total_microtasks);
     averages.rounds += static_cast<double>(result.rounds);
     averages.ndcg += metrics::Ndcg(dataset, result.items, k);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "opt/lbfgs.h"
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::baselines {
@@ -18,35 +19,42 @@ core::TopKResult CrowdBt::Run(crowd::CrowdPlatform* platform, int64_t k) {
   CROWDTOPK_CHECK(k >= 1 && k <= n);
   CROWDTOPK_CHECK_GE(n, 2);
 
+  telemetry::PhaseScope trace_phase(platform->recorder(), "crowdbt");
+
   // Phase 1: spend the budget on binary votes over random pairs.
   // wins[(i, j)] with i < j counts votes; value.first = votes for i.
   std::unordered_map<uint64_t, std::pair<int64_t, int64_t>> votes;
   std::vector<double> scratch;
   int64_t spent = 0;
-  while (spent < options_.total_budget) {
-    const int64_t wave =
-        std::min(options_.batch_size * n, options_.total_budget - spent);
-    for (int64_t t = 0; t < wave; ++t) {
-      ItemId i = static_cast<ItemId>(platform->rng()->UniformInt(n));
-      ItemId j = i;
-      while (j == i) j = static_cast<ItemId>(platform->rng()->UniformInt(n));
-      if (i > j) std::swap(i, j);
-      scratch.clear();
-      platform->CollectBinaryVotes(i, j, 1, &scratch);
-      const uint64_t key =
-          (static_cast<uint64_t>(static_cast<uint32_t>(i)) << 32) |
-          static_cast<uint32_t>(j);
-      auto& record = votes[key];
-      if (scratch.front() > 0.0) {
-        ++record.first;
-      } else {
-        ++record.second;
+  {
+    telemetry::PhaseScope trace_votes(platform->recorder(), "votes");
+    while (spent < options_.total_budget) {
+      const int64_t wave =
+          std::min(options_.batch_size * n, options_.total_budget - spent);
+      for (int64_t t = 0; t < wave; ++t) {
+        ItemId i = static_cast<ItemId>(platform->rng()->UniformInt(n));
+        ItemId j = i;
+        while (j == i) j = static_cast<ItemId>(platform->rng()->UniformInt(n));
+        if (i > j) std::swap(i, j);
+        scratch.clear();
+        platform->CollectBinaryVotes(i, j, 1, &scratch);
+        const uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(i)) << 32) |
+            static_cast<uint32_t>(j);
+        auto& record = votes[key];
+        if (scratch.front() > 0.0) {
+          ++record.first;
+        } else {
+          ++record.second;
+        }
       }
+      spent += wave;
+      platform->NextRound();
     }
-    spent += wave;
-    platform->NextRound();
   }
 
+  // The BTL fit buys nothing and runs platform-side, so it opens no phase;
+  // its cost is pure CPU time outside the crowd's accounting.
   // Phase 2: BTL maximum likelihood. NLL(s) = -sum over votes of
   // log sigmoid(s_winner - s_loser) + (lambda/2)||s||^2.
   // Flatten the vote map first: the objective is evaluated hundreds of

@@ -6,6 +6,7 @@
 
 #include "core/sorting.h"
 #include "judgment/cache.h"
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::baselines {
@@ -55,6 +56,7 @@ core::TopKResult HeapSortTopK::Run(crowd::CrowdPlatform* platform,
                                    int64_t k) {
   const int64_t n = platform->num_items();
   CROWDTOPK_CHECK(k >= 1 && k <= n);
+  telemetry::PhaseScope trace_phase(platform->recorder(), "heapsort");
   judgment::ComparisonCache cache(options_);
 
   std::vector<ItemId> order(n);
@@ -64,22 +66,31 @@ core::TopKResult HeapSortTopK::Run(crowd::CrowdPlatform* platform,
   // Seed the min-heap with k random items (performance is sensitive to this
   // choice, Section 4.2) and heapify.
   std::vector<ItemId> heap(order.begin(), order.begin() + k);
-  for (size_t index = heap.size() / 2 + 1; index-- > 0;) {
-    SiftDown(&heap, index, &cache, platform);
+  {
+    telemetry::PhaseScope trace_heapify(platform->recorder(), "heapify");
+    for (size_t index = heap.size() / 2 + 1; index-- > 0;) {
+      SiftDown(&heap, index, &cache, platform);
+    }
   }
 
   // Sequentially race every other item against the current k-th best.
-  for (int64_t position = k; position < n; ++position) {
-    const ItemId challenger = order[position];
-    if (Better(challenger, heap.front(), &cache, platform)) {
-      heap.front() = challenger;
-      SiftDown(&heap, 0, &cache, platform);
+  {
+    telemetry::PhaseScope trace_scan(platform->recorder(), "scan");
+    for (int64_t position = k; position < n; ++position) {
+      const ItemId challenger = order[position];
+      if (Better(challenger, heap.front(), &cache, platform)) {
+        heap.front() = challenger;
+        SiftDown(&heap, 0, &cache, platform);
+      }
     }
   }
 
   // Rank the k survivors best-first. Judgments among them are largely
   // cached, so this final sort is cheap.
-  core::ConfirmSort(&heap, &cache, platform);
+  {
+    telemetry::PhaseScope trace_rank(platform->recorder(), "rank");
+    core::ConfirmSort(&heap, &cache, platform);
+  }
   core::TopKResult result;
   result.items = std::move(heap);
   result.total_microtasks = platform->total_microtasks();

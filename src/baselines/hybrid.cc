@@ -7,6 +7,7 @@
 
 #include "judgment/cache.h"
 #include "judgment/graded.h"
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::baselines {
@@ -37,6 +38,7 @@ std::vector<ItemId> FilterByGrades(int64_t grades_per_item, int64_t keep,
 core::TopKResult Hybrid::Run(crowd::CrowdPlatform* platform, int64_t k) {
   const int64_t n = platform->num_items();
   CROWDTOPK_CHECK(k >= 1 && k <= n);
+  telemetry::PhaseScope trace_phase(platform->recorder(), "hybrid");
 
   const int64_t keep = std::min<int64_t>(
       n, std::max<int64_t>(
@@ -48,11 +50,16 @@ core::TopKResult Hybrid::Run(crowd::CrowdPlatform* platform, int64_t k) {
       std::max<int64_t>(1, filter_budget / std::max<int64_t>(n, 1));
 
   std::vector<double> grades;
-  const std::vector<ItemId> survivors = FilterByGrades(
-      grades_per_item, keep, options_.batch_size, platform, &grades);
+  std::vector<ItemId> survivors;
+  {
+    telemetry::PhaseScope trace_filter(platform->recorder(), "filter");
+    survivors = FilterByGrades(grades_per_item, keep, options_.batch_size,
+                               platform, &grades);
+  }
 
   // Ranking phase: round-robin binary votes over the surviving pairs until
   // the budget runs out; score = vote share, grades break ties.
+  telemetry::PhaseScope trace_rank(platform->recorder(), "rank");
   const int64_t m = static_cast<int64_t>(survivors.size());
   std::vector<std::vector<int64_t>> wins(m, std::vector<int64_t>(m, 0));
   std::vector<double> scratch;
@@ -102,15 +109,22 @@ core::TopKResult Hybrid::Run(crowd::CrowdPlatform* platform, int64_t k) {
 core::TopKResult HybridSpr::Run(crowd::CrowdPlatform* platform, int64_t k) {
   const int64_t n = platform->num_items();
   CROWDTOPK_CHECK(k >= 1 && k <= n);
+  telemetry::PhaseScope trace_phase(platform->recorder(), "hybrid_spr");
 
   const int64_t keep = std::min<int64_t>(
       n, std::max<int64_t>(
              k, static_cast<int64_t>(std::llround(options_.keep_factor *
                                                   static_cast<double>(k)))));
-  const std::vector<ItemId> survivors =
-      FilterByGrades(options_.grades_per_item, keep,
-                     options_.spr.comparison.batch_size, platform, nullptr);
+  std::vector<ItemId> survivors;
+  {
+    telemetry::PhaseScope trace_filter(platform->recorder(), "filter");
+    survivors =
+        FilterByGrades(options_.grades_per_item, keep,
+                       options_.spr.comparison.batch_size, platform, nullptr);
+  }
 
+  // The SPR stage opens its own select/partition/rank phases beneath this
+  // one.
   core::Spr spr(options_.spr);
   judgment::ComparisonCache cache(options_.spr.comparison);
   std::vector<ItemId> ranked = spr.RunOnItems(survivors, k, &cache, platform);

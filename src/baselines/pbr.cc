@@ -6,6 +6,7 @@
 
 #include "stats/hoeffding.h"
 #include "stats/running_stats.h"
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::baselines {
@@ -16,6 +17,7 @@ core::TopKResult PbrTopK::Run(crowd::CrowdPlatform* platform, int64_t k) {
   const int64_t n = platform->num_items();
   CROWDTOPK_CHECK(k >= 1 && k <= n);
   CROWDTOPK_CHECK_GE(n, 2);
+  telemetry::PhaseScope trace_phase(platform->recorder(), "pbr");
 
   std::vector<stats::RunningStats> scores(n);
   std::vector<bool> active(n, true);
@@ -24,6 +26,7 @@ core::TopKResult PbrTopK::Run(crowd::CrowdPlatform* platform, int64_t k) {
   const int64_t cap = per_item_budget_factor_ * options_.budget;
   int64_t num_active = n;
 
+  telemetry::PhaseScope trace_race(platform->recorder(), "race");
   while (static_cast<int64_t>(selected.size()) < k &&
          num_active > k - static_cast<int64_t>(selected.size())) {
     // One batch round: every racing item buys eta binary votes against

@@ -5,6 +5,7 @@
 
 #include "core/sorting.h"
 #include "judgment/cache.h"
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::baselines {
@@ -78,12 +79,17 @@ core::TopKResult QuickSelectTopK::Run(crowd::CrowdPlatform* platform,
                                       int64_t k) {
   const int64_t n = platform->num_items();
   CROWDTOPK_CHECK(k >= 1 && k <= n);
+  telemetry::PhaseScope trace_phase(platform->recorder(), "quickselect");
   judgment::ComparisonCache cache(options_);
 
   std::vector<ItemId> items(n);
   std::iota(items.begin(), items.end(), 0);
-  std::vector<ItemId> selected =
-      TopKSet(std::move(items), k, &cache, platform);
+  std::vector<ItemId> selected;
+  {
+    telemetry::PhaseScope trace_select(platform->recorder(), "select");
+    selected = TopKSet(std::move(items), k, &cache, platform);
+  }
+  telemetry::PhaseScope trace_rank(platform->recorder(), "rank");
   core::ConfirmSort(&selected, &cache, platform);
 
   core::TopKResult result;

@@ -8,6 +8,7 @@
 
 #include "core/tournament.h"
 #include "judgment/cache.h"
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::baselines {
@@ -18,6 +19,7 @@ core::TopKResult TournamentTree::Run(crowd::CrowdPlatform* platform,
                                      int64_t k) {
   const int64_t n = platform->num_items();
   CROWDTOPK_CHECK(k >= 1 && k <= n);
+  telemetry::PhaseScope trace_phase(platform->recorder(), "tourtree");
   judgment::ComparisonCache cache(options_);
 
   // Random initial bracket (the expected workload is very sensitive to this
@@ -30,17 +32,24 @@ core::TopKResult TournamentTree::Run(crowd::CrowdPlatform* platform,
   std::unordered_map<ItemId, std::vector<ItemId>> losers_to;
 
   core::TopKResult result;
-  const core::TournamentRecord first =
-      core::TournamentMax(bracket, &cache, platform,
-                          /*charge_platform_rounds=*/true);
-  for (const auto& [winner, loser] : first.matches) {
-    losers_to[winner].push_back(loser);
+  // Phase "build": the full first tournament crowning the overall champion.
+  // Phase "extract": the k-1 replay tournaments among direct losers.
+  std::unordered_set<ItemId> extracted;
+  std::vector<ItemId> candidates;
+  {
+    telemetry::PhaseScope trace_build(platform->recorder(), "build");
+    const core::TournamentRecord first =
+        core::TournamentMax(bracket, &cache, platform,
+                            /*charge_platform_rounds=*/true);
+    for (const auto& [winner, loser] : first.matches) {
+      losers_to[winner].push_back(loser);
+    }
+    result.items.push_back(first.winner);
+    extracted.insert(first.winner);
+    // Candidates for the next champion: direct losers to extracted items.
+    candidates = losers_to[first.winner];
   }
-  result.items.push_back(first.winner);
-
-  std::unordered_set<ItemId> extracted = {first.winner};
-  // Candidates for the next champion: direct losers to extracted items.
-  std::vector<ItemId> candidates = losers_to[first.winner];
+  telemetry::PhaseScope trace_extract(platform->recorder(), "extract");
   while (static_cast<int64_t>(result.items.size()) < k) {
     CROWDTOPK_CHECK(!candidates.empty());
     const core::TournamentRecord record =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::core {
@@ -111,6 +112,10 @@ PartitionResult Partition(const std::vector<ItemId>& items, int64_t k,
   // top-k candidate.
   if (static_cast<int64_t>(winners.size()) < k) {
     winners.push_back(result.reference);
+  }
+  if (platform->recorder() != nullptr) {
+    platform->recorder()->RecordCounter(
+        "reference_changes", static_cast<double>(result.reference_changes));
   }
   return result;
 }

@@ -7,6 +7,7 @@
 #include "core/sorting.h"
 #include "core/tournament.h"
 #include "stats/binomial.h"
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::core {
@@ -92,36 +93,49 @@ ItemId SelectReference(const std::vector<ItemId>& items, int64_t k, double c,
 
   const ReferenceSelectionPlan plan =
       PlanReferenceSelection(n, k, c, comparison_budget);
+  telemetry::TraceRecorder* recorder = platform->recorder();
+  if (recorder != nullptr) {
+    // The solved (x, m) of optimization problem (2), so traces show how the
+    // selection budget was laid out.
+    recorder->RecordCounter("selection_group_size_x",
+                            static_cast<double>(plan.x));
+    recorder->RecordCounter("selection_num_groups_m",
+                            static_cast<double>(plan.m));
+  }
 
   util::Rng* rng = platform->rng();
   std::vector<ItemId> maxima;
   maxima.reserve(plan.m);
   int64_t parallel_rounds = 0;
-  for (int64_t g = 0; g < plan.m; ++g) {
-    // x uniform samples with replacement; duplicates collapse (comparing an
-    // item with itself is meaningless).
-    std::vector<ItemId> group;
-    group.reserve(plan.x);
-    for (int64_t s = 0; s < plan.x; ++s) {
-      const ItemId candidate = items[rng->UniformInt(n)];
-      if (std::find(group.begin(), group.end(), candidate) == group.end()) {
-        group.push_back(candidate);
+  {
+    telemetry::PhaseScope trace_groups(recorder, "group_maxima");
+    for (int64_t g = 0; g < plan.m; ++g) {
+      // x uniform samples with replacement; duplicates collapse (comparing
+      // an item with itself is meaningless).
+      std::vector<ItemId> group;
+      group.reserve(plan.x);
+      for (int64_t s = 0; s < plan.x; ++s) {
+        const ItemId candidate = items[rng->UniformInt(n)];
+        if (std::find(group.begin(), group.end(), candidate) == group.end()) {
+          group.push_back(candidate);
+        }
       }
+      const TournamentRecord record =
+          TournamentMax(group, cache, platform,
+                        /*charge_platform_rounds=*/false);
+      parallel_rounds = std::max(parallel_rounds, record.rounds);
+      maxima.push_back(record.winner);
     }
-    const TournamentRecord record =
-        TournamentMax(group, cache, platform,
-                      /*charge_platform_rounds=*/false);
-    parallel_rounds = std::max(parallel_rounds, record.rounds);
-    maxima.push_back(record.winner);
+    // The m groups ran in parallel: charge the slowest one.
+    if (parallel_rounds > 0) platform->AccountRounds(parallel_rounds);
   }
-  // The m groups ran in parallel: charge the slowest one.
-  platform->AccountRounds(parallel_rounds);
 
   if (maxima.size() == 1) return maxima.front();
 
   // Median of the maxima: dedupe (keeping multiplicities), sort the distinct
   // candidates best-first with confirmed comparisons, then take the weighted
   // median position.
+  telemetry::PhaseScope trace_median(recorder, "median_of_maxima");
   std::map<ItemId, int64_t> multiplicity;
   for (ItemId id : maxima) ++multiplicity[id];
   std::vector<ItemId> distinct;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "stats/normal.h"
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::core {
@@ -40,6 +41,7 @@ void ConfirmSort(std::vector<ItemId>* items, judgment::ComparisonCache* cache,
   CROWDTOPK_CHECK(items != nullptr);
   const size_t n = items->size();
   if (n < 2) return;
+  telemetry::PhaseScope trace_phase(platform->recorder(), "confirm_sort");
   for (size_t pass = 0; pass < n; ++pass) {
     bool swapped = false;
     for (size_t pos = 0; pos + 1 < n; ++pos) {

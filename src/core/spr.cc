@@ -6,12 +6,14 @@
 #include "core/partition.h"
 #include "core/select_reference.h"
 #include "core/sorting.h"
+#include "telemetry/recorder.h"
 #include "util/check.h"
 
 namespace crowdtopk::core {
 
 TopKResult Spr::Run(crowd::CrowdPlatform* platform, int64_t k) {
   CROWDTOPK_CHECK_GE(k, 1);
+  telemetry::PhaseScope trace_phase(platform->recorder(), "spr");
   std::vector<ItemId> items(platform->num_items());
   std::iota(items.begin(), items.end(), 0);
   judgment::ComparisonCache cache(options_.comparison);
@@ -33,6 +35,7 @@ std::vector<ItemId> Spr::RunOnItems(const std::vector<ItemId>& items,
 
   // Base case: no room to prune; sort everything.
   if (n <= k) {
+    telemetry::PhaseScope trace_phase(platform->recorder(), "rank");
     std::vector<ItemId> all = items;
     ConfirmSort(&all, cache, platform);
     return all;
@@ -51,20 +54,30 @@ std::vector<ItemId> Spr::RunOnItems(const std::vector<ItemId>& items,
                options_.selection_budget_per_pair_batches *
                    options_.comparison.min_workload);
   judgment::ComparisonCache selection_cache(selection_options);
-  const ItemId initial_reference =
-      SelectReference(items, k, options_.sweet_spot_c, selection_budget,
-                      &selection_cache, platform);
+  ItemId initial_reference;
+  {
+    telemetry::PhaseScope trace_phase(platform->recorder(), "select");
+    initial_reference =
+        SelectReference(items, k, options_.sweet_spot_c, selection_budget,
+                        &selection_cache, platform);
+  }
 
   // (2) Partition against the reference (Section 5.2).
-  const PartitionResult partition =
-      Partition(items, k, initial_reference, options_.max_reference_changes,
-                cache, platform);
+  PartitionResult partition;
+  {
+    telemetry::PhaseScope trace_phase(platform->recorder(), "partition");
+    partition =
+        Partition(items, k, initial_reference, options_.max_reference_changes,
+                  cache, platform);
+  }
   const ItemId reference = partition.reference;
   const int64_t num_winners = static_cast<int64_t>(partition.winners.size());
   const int64_t num_with_ties =
       num_winners + static_cast<int64_t>(partition.ties.size());
 
-  // (3) Rank (Section 5.3 / Algorithm 2 lines 4-10).
+  // (3) Rank (Section 5.3 / Algorithm 2 lines 4-10). The recursion of
+  // lines 7-9 nests its own select/partition/rank phases inside this one.
+  telemetry::PhaseScope trace_rank(platform->recorder(), "rank");
   if (num_winners >= k) {
     // Line 10: |W_r| >= k -- the answer is the top-k of sorted W_r.
     std::vector<ItemId> sorted =

@@ -1,11 +1,22 @@
 // The Select-Partition-Rank (SPR) framework (Section 5, Algorithm 2).
 //
 // SPR answers a crowdsourced top-k query by (1) selecting a reference item
-// that lies in the sweet spot {o*_k ... o*_ck} with high probability,
+// that lies in the sweet spot {o*_k ... o*_ck} with high probability
+// (Algorithm 3: m sample-group tournaments + median of maxima, with (x, m)
+// solved from optimization problem (2) -- select_reference.h),
 // (2) partitioning all items against the reference with incremental
-// confidence-aware comparisons, and (3) ranking the surviving candidates by
-// reference-based sorting. All judgments flow through a ComparisonCache so
-// nothing is ever purchased twice.
+// confidence-aware comparisons and optional reference changing
+// (Algorithm 4 -- partition.h), and (3) ranking the surviving candidates by
+// reference-based sorting (Thurstone order + confirming bubble passes --
+// sorting.h); when more than k candidates survive partitioning, Algorithm 2
+// recurses on the winner set. All judgments flow through a ComparisonCache
+// so nothing is ever purchased twice (Section 5.3).
+//
+// Guarantees reproduced here: expected precision at least (1 - alpha) / c
+// (Section 5.4, SprPrecisionLowerBound below); the infimum cost bound SPR is
+// benchmarked against is Lemmas 1/3 (infimum.h). Under tracing
+// (docs/OBSERVABILITY.md) a run decomposes into the phases
+// spr/{select,partition,rank}.
 
 #ifndef CROWDTOPK_CORE_SPR_H_
 #define CROWDTOPK_CORE_SPR_H_

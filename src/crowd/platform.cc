@@ -20,6 +20,10 @@ void CrowdPlatform::CollectPreferences(ItemId i, ItemId j, int64_t count,
   if (latency_model_ != nullptr && count > 0) {
     latency_model_->OnPurchase(count);
   }
+  if (recorder_ != nullptr && count > 0) {
+    recorder_->RecordPurchase(telemetry::PurchaseKind::kPreference, i, j,
+                              count);
+  }
 }
 
 void CrowdPlatform::CollectBinaryVotes(ItemId i, ItemId j, int64_t count,
@@ -33,6 +37,9 @@ void CrowdPlatform::CollectBinaryVotes(ItemId i, ItemId j, int64_t count,
   if (latency_model_ != nullptr && count > 0) {
     latency_model_->OnPurchase(count);
   }
+  if (recorder_ != nullptr && count > 0) {
+    recorder_->RecordPurchase(telemetry::PurchaseKind::kBinary, i, j, count);
+  }
 }
 
 void CrowdPlatform::CollectGrades(ItemId i, int64_t count,
@@ -45,11 +52,16 @@ void CrowdPlatform::CollectGrades(ItemId i, int64_t count,
   if (latency_model_ != nullptr && count > 0) {
     latency_model_->OnPurchase(count);
   }
+  if (recorder_ != nullptr && count > 0) {
+    recorder_->RecordPurchase(telemetry::PurchaseKind::kGraded, i,
+                              /*item_j=*/-1, count);
+  }
 }
 
 void CrowdPlatform::NextRound() {
   ++rounds_;
   if (latency_model_ != nullptr) latency_model_->OnRoundBoundary();
+  if (recorder_ != nullptr) recorder_->RecordRounds(1);
 }
 
 void CrowdPlatform::AccountRounds(int64_t n) {
@@ -57,6 +69,7 @@ void CrowdPlatform::AccountRounds(int64_t n) {
   if (latency_model_ != nullptr) {
     for (int64_t r = 0; r < n; ++r) latency_model_->OnRoundBoundary();
   }
+  if (recorder_ != nullptr && n > 0) recorder_->RecordRounds(n);
 }
 
 void CrowdPlatform::ResetCounters() {

@@ -5,6 +5,12 @@
 // measured in *batch rounds* (Section 5.5): within one round, all independent
 // comparisons may advance in parallel by up to eta microtasks each; the
 // algorithm driving the platform marks round boundaries with NextRound().
+//
+// For per-phase cost/latency attribution a telemetry::TraceRecorder can be
+// attached (SetRecorder): the platform then emits one structured event per
+// purchase and per round boundary, and algorithm layers delimit their phases
+// through telemetry::PhaseScope(platform->recorder(), ...). See
+// docs/OBSERVABILITY.md.
 
 #ifndef CROWDTOPK_CROWD_PLATFORM_H_
 #define CROWDTOPK_CROWD_PLATFORM_H_
@@ -15,6 +21,7 @@
 #include "crowd/latency_model.h"
 #include "crowd/oracle.h"
 #include "crowd/types.h"
+#include "telemetry/recorder.h"
 #include "util/random.h"
 
 namespace crowdtopk::crowd {
@@ -55,6 +62,15 @@ class CrowdPlatform {
   // detach; must outlive the platform while attached.
   void SetLatencyModel(LatencyModel* model) { latency_model_ = model; }
 
+  // Attaches a telemetry recorder receiving one event per purchase and per
+  // round boundary. May be nullptr to detach; must outlive the platform
+  // while attached. Algorithms read it back via recorder() to open phase
+  // scopes and record counters.
+  void SetRecorder(telemetry::TraceRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  telemetry::TraceRecorder* recorder() const { return recorder_; }
+
   // Total microtasks purchased so far (the paper's TMC).
   int64_t total_microtasks() const { return total_microtasks_; }
 
@@ -70,6 +86,7 @@ class CrowdPlatform {
   const JudgmentOracle* oracle_;
   util::Rng rng_;
   LatencyModel* latency_model_ = nullptr;
+  telemetry::TraceRecorder* recorder_ = nullptr;
   int64_t total_microtasks_ = 0;
   int64_t rounds_ = 0;
 };

@@ -38,13 +38,7 @@ void ComparisonSession::Step(crowd::CrowdPlatform* platform, int64_t batch) {
   to_buy = std::min(to_buy, options_->budget - bag_.count());
   CROWDTOPK_CHECK_GE(to_buy, 0);
   if (to_buy > 0) {
-    scratch_.clear();
-    if (options_->estimator == Estimator::kHoeffding) {
-      platform->CollectBinaryVotes(left_, right_, to_buy, &scratch_);
-    } else {
-      platform->CollectPreferences(left_, right_, to_buy, &scratch_);
-    }
-    for (double v : scratch_) bag_.Add(v);
+    Purchase(platform, to_buy);
     if (first_stage_count_ == 0 &&
         bag_.count() >= options_->min_workload) {
       // Freeze Stein's first-stage variance estimate.
@@ -73,12 +67,25 @@ void ComparisonSession::RefineWithExtraSamples(crowd::CrowdPlatform* platform,
                                                int64_t count) {
   CROWDTOPK_CHECK_GE(count, 0);
   if (count == 0) return;
+  Purchase(platform, count);
+}
+
+void ComparisonSession::Purchase(crowd::CrowdPlatform* platform,
+                                 int64_t count) {
+  // Tag the purchase with this session's confidence-process iteration so
+  // traces can reconstruct the stopping rule's convergence profile.
+  telemetry::TraceRecorder* recorder = platform->recorder();
+  if (recorder != nullptr) {
+    recorder->SetPurchaseIteration(purchase_iterations_);
+  }
   scratch_.clear();
   if (options_->estimator == Estimator::kHoeffding) {
     platform->CollectBinaryVotes(left_, right_, count, &scratch_);
   } else {
     platform->CollectPreferences(left_, right_, count, &scratch_);
   }
+  if (recorder != nullptr) recorder->SetPurchaseIteration(-1);
+  ++purchase_iterations_;
   for (double v : scratch_) bag_.Add(v);
 }
 

@@ -15,6 +15,14 @@
 // Sessions are resumable: Step() buys any number of further microtasks, so a
 // driver can advance many sessions "in parallel" within one batch round
 // (Algorithm 4) or run one session to completion (RunComparison).
+//
+// Termination mirrors Algorithm 1: start with the cold-start workload I,
+// then buy one batch (eta, Section 5.5) at a time until the interval
+// excludes 0 or the per-pair budget B is exhausted, in which case the pair
+// is declared a tie and ranked by its sample mean. Each purchase a session
+// makes is tagged with its iteration count in traces
+// (docs/OBSERVABILITY.md), which is how per-pair convergence cost is
+// attributed in the observability tooling.
 
 #ifndef CROWDTOPK_JUDGMENT_COMPARISON_H_
 #define CROWDTOPK_JUDGMENT_COMPARISON_H_
@@ -101,6 +109,13 @@ class ComparisonSession {
   // Workload so far: |V_{i,j}|.
   int64_t workload() const { return bag_.count(); }
 
+  // Number of purchases this session has made so far (confidence-process
+  // iterations: 0 before the cold start, 1 after it, ...). When a telemetry
+  // recorder is attached to the platform, each buy is tagged with the
+  // iteration it belongs to, so traces expose the per-pair convergence
+  // profile of the stopping rule.
+  int64_t purchase_iterations() const { return purchase_iterations_; }
+
   // Sample mean / stddev of the bag (preference scale; sign favours left).
   double Mean() const { return bag_.Mean(); }
   double StdDev() const { return bag_.StdDev(); }
@@ -131,6 +146,10 @@ class ComparisonSession {
   // Re-evaluates the stopping rule from the current bag.
   void Evaluate();
 
+  // Buys `count` judgments of the configured kind into the bag, tagging the
+  // purchase with the current iteration when telemetry is attached.
+  void Purchase(crowd::CrowdPlatform* platform, int64_t count);
+
   bool IntervalExcludesZeroStudent() const;
   bool IntervalExcludesZeroStein() const;
   bool IntervalExcludesZeroHoeffding() const;
@@ -146,6 +165,7 @@ class ComparisonSession {
   double first_stage_sd_ = 0.0;
   bool finished_ = false;
   ComparisonOutcome outcome_ = ComparisonOutcome::kTie;
+  int64_t purchase_iterations_ = 0;
   std::vector<double> scratch_;  // reused purchase buffer
 };
 

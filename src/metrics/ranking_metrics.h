@@ -1,6 +1,9 @@
 // Ranking quality metrics for top-k results.
 //
-// The paper scores results with NDCG [24] (Section 6.2). NDCG needs a graded
+// The paper scores results with NDCG [24] (Section 6.2; Figures 13 and 14
+// report it via bench/fig13_accuracy and bench/fig14_nonconfidence, and the
+// Appendix F interactive experiment via bench/people_age). NDCG needs a
+// graded
 // relevance; we use the linear gain g(o) = max(0, 2k + 1 - true_rank(o)):
 // the true best item is worth 2k, the true k-th item k + 1, decaying to zero
 // at rank 2k, with the standard log2 position discount. The linear decay

@@ -1,7 +1,10 @@
 // Anytime-valid confidence sequences (law-of-the-iterated-logarithm style).
+// An extension beyond the paper, plugged into the Section 3 comparison
+// process as Estimator::kAnytime (judgment/comparison.h).
 //
-// Algorithm 1 checks a *fixed-sample-size* Student-t interval after every
-// purchased judgment. Under such continuous monitoring the realised error
+// The paper's Algorithm 1 (StudentComp) checks a *fixed-sample-size*
+// Student-t interval after every purchased judgment. Under such continuous
+// monitoring the realised error
 // probability of the fixed-n interval exceeds its nominal alpha (the
 // peeking problem of sequential analysis). A confidence *sequence* widens
 // the interval by an iterated-logarithm factor so that the coverage holds

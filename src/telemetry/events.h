@@ -1,0 +1,72 @@
+// Trace event vocabulary for the telemetry subsystem.
+//
+// A trace is a flat, totally ordered sequence of TraceEvents describing one
+// top-k query: every microtask purchase (the paper's unit of total monetary
+// cost, Section 4), every batch-round boundary (the paper's unit of query
+// latency, Section 5.5), the begin/end of named algorithm phases (SPR's
+// select / partition / rank split, a baseline's build / extract split, ...),
+// and free-form scalar counters. Events carry the full phase path active
+// when they were emitted, so a trace can be reduced to per-phase cost and
+// latency tables offline (metrics/trace_aggregate.h) without replaying the
+// query. The schema is documented in docs/OBSERVABILITY.md.
+
+#ifndef CROWDTOPK_TELEMETRY_EVENTS_H_
+#define CROWDTOPK_TELEMETRY_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crowdtopk::telemetry {
+
+enum class EventKind {
+  // A batch of `count` microtasks bought for one item (pair). TMC events.
+  kPurchase,
+  // `count` batch-round boundaries elapsed. Latency events.
+  kRound,
+  // A named phase opened / closed; `phase` is the path *including* the
+  // phase itself.
+  kPhaseBegin,
+  kPhaseEnd,
+  // A named scalar observation (e.g. "reference_changes").
+  kCounter,
+};
+
+// Which judgment primitive a purchase bought (crowd/oracle.h).
+enum class PurchaseKind {
+  kPreference,  // signed strength in [-1, 1]
+  kBinary,      // vote in {-1, +1}
+  kGraded,      // absolute grade of a single item in [0, 1]
+};
+
+// Stable lowercase names used by the JSONL/CSV exporters.
+const char* EventKindName(EventKind kind);
+const char* PurchaseKindName(PurchaseKind kind);
+
+struct TraceEvent {
+  // Position in the trace's total order, starting at 0.
+  int64_t sequence = 0;
+  EventKind kind = EventKind::kCounter;
+  // '/'-joined path of open phases when the event fired ("" = outside any
+  // phase; "spr/partition" = inside partition nested in spr).
+  std::string phase;
+
+  // kPurchase only.
+  PurchaseKind purchase_kind = PurchaseKind::kPreference;
+  int64_t item_i = -1;
+  int64_t item_j = -1;  // -1 for single-item (graded) purchases
+  // kPurchase: microtasks bought; kRound: rounds elapsed (usually 1).
+  int64_t count = 0;
+  // Confidence-process iteration of the owning COMP session (0 = cold
+  // start), or -1 when the purchase was not made by a comparison session.
+  int64_t iteration = -1;
+
+  // kCounter only.
+  std::string name;
+  double value = 0.0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+}  // namespace crowdtopk::telemetry
+
+#endif  // CROWDTOPK_TELEMETRY_EVENTS_H_

@@ -1,0 +1,259 @@
+#include "telemetry/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace crowdtopk::telemetry {
+
+namespace {
+
+void AppendEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendStringField(const std::string& key, const std::string& value,
+                       std::string* out) {
+  *out += ",\"";
+  *out += key;
+  *out += "\":\"";
+  AppendEscaped(value, out);
+  *out += '"';
+}
+
+void AppendIntField(const std::string& key, int64_t value, std::string* out) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  *out += ",\"";
+  *out += key;
+  *out += "\":";
+  *out += buffer;
+}
+
+// Locates the raw token following `"key":` in a flat JSON object. Returns
+// false if the key is absent. Only suitable for the subset we emit (no
+// nested objects, keys never appear inside earlier string values except
+// `phase`/`name`, which are emitted before any field this is used for).
+bool FindRaw(const std::string& line, const std::string& key, size_t* pos) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *pos = at + needle.size();
+  return true;
+}
+
+bool ParseStringField(const std::string& line, const std::string& key,
+                      std::string* out) {
+  size_t pos = 0;
+  if (!FindRaw(line, key, &pos)) return false;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out->clear();
+  while (pos < line.size() && line[pos] != '"') {
+    char c = line[pos];
+    if (c == '\\' && pos + 1 < line.size()) {
+      ++pos;
+      switch (line[pos]) {
+        case 'n':
+          c = '\n';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        case 'u': {
+          if (pos + 4 >= line.size()) return false;
+          c = static_cast<char>(
+              std::strtol(line.substr(pos + 1, 4).c_str(), nullptr, 16));
+          pos += 4;
+          break;
+        }
+        default:
+          c = line[pos];
+      }
+    }
+    *out += c;
+    ++pos;
+  }
+  return pos < line.size();
+}
+
+bool ParseIntField(const std::string& line, const std::string& key,
+                   int64_t* out) {
+  size_t pos = 0;
+  if (!FindRaw(line, key, &pos)) return false;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(line.c_str() + pos, &end, 10);
+  if (end == line.c_str() + pos) return false;
+  *out = static_cast<int64_t>(parsed);
+  return true;
+}
+
+bool ParseDoubleField(const std::string& line, const std::string& key,
+                      double* out) {
+  size_t pos = 0;
+  if (!FindRaw(line, key, &pos)) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(line.c_str() + pos, &end);
+  if (end == line.c_str() + pos) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string EventToJson(const TraceEvent& event) {
+  std::string out = "{\"seq\":";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(event.sequence));
+  out += buffer;
+  out += ",\"kind\":\"";
+  out += EventKindName(event.kind);
+  out += '"';
+  AppendStringField("phase", event.phase, &out);
+  switch (event.kind) {
+    case EventKind::kPurchase:
+      AppendStringField("judgment", PurchaseKindName(event.purchase_kind),
+                        &out);
+      AppendIntField("i", event.item_i, &out);
+      AppendIntField("j", event.item_j, &out);
+      AppendIntField("n", event.count, &out);
+      AppendIntField("iter", event.iteration, &out);
+      break;
+    case EventKind::kRound:
+      AppendIntField("n", event.count, &out);
+      break;
+    case EventKind::kPhaseBegin:
+    case EventKind::kPhaseEnd:
+      break;
+    case EventKind::kCounter: {
+      AppendStringField("name", event.name, &out);
+      std::snprintf(buffer, sizeof(buffer), "%.17g", event.value);
+      out += ",\"value\":";
+      out += buffer;
+      break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+void WriteJsonl(const std::vector<TraceEvent>& events, std::ostream* out) {
+  CROWDTOPK_CHECK(out != nullptr);
+  for (const TraceEvent& event : events) {
+    *out << EventToJson(event) << '\n';
+  }
+}
+
+util::Status WriteJsonlFile(const std::vector<TraceEvent>& events,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return util::Status::NotFound("cannot open for writing: " + path);
+  }
+  WriteJsonl(events, &out);
+  out.flush();
+  if (!out.good()) return util::Status::Internal("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<TraceEvent> EventFromJson(const std::string& line) {
+  TraceEvent event;
+  if (!ParseIntField(line, "seq", &event.sequence)) {
+    return util::Status::InvalidArgument("missing seq: " + line);
+  }
+  std::string kind;
+  if (!ParseStringField(line, "kind", &kind)) {
+    return util::Status::InvalidArgument("missing kind: " + line);
+  }
+  if (!ParseStringField(line, "phase", &event.phase)) {
+    return util::Status::InvalidArgument("missing phase: " + line);
+  }
+  if (kind == "purchase") {
+    event.kind = EventKind::kPurchase;
+    std::string judgment;
+    if (!ParseStringField(line, "judgment", &judgment) ||
+        !ParseIntField(line, "i", &event.item_i) ||
+        !ParseIntField(line, "j", &event.item_j) ||
+        !ParseIntField(line, "n", &event.count) ||
+        !ParseIntField(line, "iter", &event.iteration)) {
+      return util::Status::InvalidArgument("malformed purchase: " + line);
+    }
+    if (judgment == "preference") {
+      event.purchase_kind = PurchaseKind::kPreference;
+    } else if (judgment == "binary") {
+      event.purchase_kind = PurchaseKind::kBinary;
+    } else if (judgment == "graded") {
+      event.purchase_kind = PurchaseKind::kGraded;
+    } else {
+      return util::Status::InvalidArgument("unknown judgment: " + judgment);
+    }
+  } else if (kind == "round") {
+    event.kind = EventKind::kRound;
+    if (!ParseIntField(line, "n", &event.count)) {
+      return util::Status::InvalidArgument("malformed round: " + line);
+    }
+  } else if (kind == "phase_begin") {
+    event.kind = EventKind::kPhaseBegin;
+  } else if (kind == "phase_end") {
+    event.kind = EventKind::kPhaseEnd;
+  } else if (kind == "counter") {
+    event.kind = EventKind::kCounter;
+    if (!ParseStringField(line, "name", &event.name) ||
+        !ParseDoubleField(line, "value", &event.value)) {
+      return util::Status::InvalidArgument("malformed counter: " + line);
+    }
+  } else {
+    return util::Status::InvalidArgument("unknown kind: " + kind);
+  }
+  return event;
+}
+
+util::StatusOr<std::vector<TraceEvent>> ReadJsonl(std::istream* in) {
+  CROWDTOPK_CHECK(in != nullptr);
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    util::StatusOr<TraceEvent> event = EventFromJson(line);
+    if (!event.ok()) return event.status();
+    events.push_back(*std::move(event));
+  }
+  return events;
+}
+
+util::StatusOr<std::vector<TraceEvent>> ReadJsonlFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return util::Status::NotFound("cannot open: " + path);
+  return ReadJsonl(&in);
+}
+
+}  // namespace crowdtopk::telemetry

@@ -1,0 +1,42 @@
+// Trace exporters / importer.
+//
+// Traces are persisted as JSON Lines (one event object per line) so they can
+// be post-processed with standard tools (`jq`, pandas, DuckDB) as well as
+// re-imported here for aggregation. The emitted subset of JSON is flat
+// (string and number values only) and ReadJsonl understands exactly that
+// subset — it is a round-trip partner for WriteJsonl, not a general JSON
+// parser. The line format is documented in docs/OBSERVABILITY.md.
+
+#ifndef CROWDTOPK_TELEMETRY_EXPORT_H_
+#define CROWDTOPK_TELEMETRY_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.h"
+#include "util/status.h"
+
+namespace crowdtopk::telemetry {
+
+// Serialises one event as a single JSON object (no trailing newline).
+std::string EventToJson(const TraceEvent& event);
+
+// Writes one event per line to `out`.
+void WriteJsonl(const std::vector<TraceEvent>& events, std::ostream* out);
+
+// Writes one event per line to `path`, overwriting. Fails on I/O errors.
+util::Status WriteJsonlFile(const std::vector<TraceEvent>& events,
+                            const std::string& path);
+
+// Parses one line previously produced by EventToJson.
+util::StatusOr<TraceEvent> EventFromJson(const std::string& line);
+
+// Reads a whole JSONL stream / file back into events. Blank lines are
+// skipped; any malformed line fails the read.
+util::StatusOr<std::vector<TraceEvent>> ReadJsonl(std::istream* in);
+util::StatusOr<std::vector<TraceEvent>> ReadJsonlFile(const std::string& path);
+
+}  // namespace crowdtopk::telemetry
+
+#endif  // CROWDTOPK_TELEMETRY_EXPORT_H_

@@ -1,0 +1,94 @@
+#include "telemetry/recorder.h"
+
+#include "util/check.h"
+
+namespace crowdtopk::telemetry {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPurchase:
+      return "purchase";
+    case EventKind::kRound:
+      return "round";
+    case EventKind::kPhaseBegin:
+      return "phase_begin";
+    case EventKind::kPhaseEnd:
+      return "phase_end";
+    case EventKind::kCounter:
+      return "counter";
+  }
+  return "unknown";
+}
+
+const char* PurchaseKindName(PurchaseKind kind) {
+  switch (kind) {
+    case PurchaseKind::kPreference:
+      return "preference";
+    case PurchaseKind::kBinary:
+      return "binary";
+    case PurchaseKind::kGraded:
+      return "graded";
+  }
+  return "unknown";
+}
+
+TraceEvent* TraceRecorder::Append(EventKind kind) {
+  TraceEvent& event = events_.emplace_back();
+  event.sequence = static_cast<int64_t>(events_.size()) - 1;
+  event.kind = kind;
+  event.phase = phase_path_;
+  return &event;
+}
+
+void TraceRecorder::BeginPhase(const std::string& name) {
+  CROWDTOPK_CHECK(!name.empty());
+  CROWDTOPK_CHECK(name.find('/') == std::string::npos);
+  phase_stack_.push_back(name);
+  if (!phase_path_.empty()) phase_path_ += '/';
+  phase_path_ += name;
+  Append(EventKind::kPhaseBegin);
+}
+
+void TraceRecorder::EndPhase() {
+  CROWDTOPK_CHECK(!phase_stack_.empty());
+  // The end event carries the path of the phase being closed.
+  Append(EventKind::kPhaseEnd);
+  const std::string& name = phase_stack_.back();
+  phase_path_.resize(phase_path_.size() - name.size());
+  if (!phase_path_.empty()) phase_path_.pop_back();  // trailing '/'
+  phase_stack_.pop_back();
+}
+
+void TraceRecorder::RecordPurchase(PurchaseKind kind, int64_t item_i,
+                                   int64_t item_j, int64_t count) {
+  CROWDTOPK_CHECK_GE(count, 1);
+  TraceEvent* event = Append(EventKind::kPurchase);
+  event->purchase_kind = kind;
+  event->item_i = item_i;
+  event->item_j = item_j;
+  event->count = count;
+  event->iteration = purchase_iteration_;
+  total_microtasks_ += count;
+}
+
+void TraceRecorder::RecordRounds(int64_t n) {
+  CROWDTOPK_CHECK_GE(n, 1);
+  TraceEvent* event = Append(EventKind::kRound);
+  event->count = n;
+  total_rounds_ += n;
+}
+
+void TraceRecorder::RecordCounter(const std::string& name, double value) {
+  CROWDTOPK_CHECK(!name.empty());
+  TraceEvent* event = Append(EventKind::kCounter);
+  event->name = name;
+  event->value = value;
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  total_microtasks_ = 0;
+  total_rounds_ = 0;
+}
+
+}  // namespace crowdtopk::telemetry

@@ -1,5 +1,8 @@
 #include "util/env.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace crowdtopk::util {
@@ -29,6 +32,16 @@ std::string GetEnvString(const std::string& name,
   return value;
 }
 
+bool GetEnvBool(const std::string& name, bool fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  std::string lowered = value;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lowered != "0" && lowered != "false" && lowered != "off" &&
+         lowered != "no";
+}
+
 int64_t BenchRuns(int64_t fallback) {
   return GetEnvInt64("CROWDTOPK_RUNS", fallback);
 }
@@ -36,6 +49,27 @@ int64_t BenchRuns(int64_t fallback) {
 uint64_t BenchSeed(uint64_t fallback) {
   return static_cast<uint64_t>(
       GetEnvInt64("CROWDTOPK_SEED", static_cast<int64_t>(fallback)));
+}
+
+bool TraceEnabled() { return GetEnvBool("CROWDTOPK_TRACE", false); }
+
+std::string TraceDir() { return GetEnvString("CROWDTOPK_TRACE_DIR", "."); }
+
+bool TraceAllRuns() {
+  return GetEnvBool("CROWDTOPK_TRACE_ALL_RUNS", false);
+}
+
+std::string ProgramName() {
+  std::FILE* comm = std::fopen("/proc/self/comm", "r");
+  if (comm == nullptr) return "bench";
+  char buffer[64] = {0};
+  const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, comm);
+  std::fclose(comm);
+  std::string name(buffer, read);
+  while (!name.empty() && (name.back() == '\n' || name.back() == '\0')) {
+    name.pop_back();
+  }
+  return name.empty() ? "bench" : name;
 }
 
 }  // namespace crowdtopk::util

@@ -21,6 +21,10 @@ double GetEnvDouble(const std::string& name, double fallback);
 // Reads a string env var; returns `fallback` if unset.
 std::string GetEnvString(const std::string& name, const std::string& fallback);
 
+// Reads a boolean env var. Unset/empty returns `fallback`; "0", "false",
+// "off", "no" (case-insensitive) are false; everything else is true.
+bool GetEnvBool(const std::string& name, bool fallback);
+
 // Number of Monte-Carlo repetitions per experiment point. The paper averages
 // over 100 runs; the default here is smaller so every bench finishes quickly
 // on a single core. Override with CROWDTOPK_RUNS.
@@ -28,6 +32,22 @@ int64_t BenchRuns(int64_t fallback = 5);
 
 // Master seed for benches; override with CROWDTOPK_SEED.
 uint64_t BenchSeed(uint64_t fallback = 20170514);  // SIGMOD'17 opening day.
+
+// CROWDTOPK_TRACE=1 makes the bench harness attach a telemetry recorder to
+// every traced run and dump machine-readable traces (JSONL + per-phase CSV)
+// next to the bench output. See docs/OBSERVABILITY.md.
+bool TraceEnabled();
+
+// Directory trace files are written to (CROWDTOPK_TRACE_DIR, default ".").
+std::string TraceDir();
+
+// By default only the first run of every experiment point is traced, to
+// bound file counts; CROWDTOPK_TRACE_ALL_RUNS=1 traces every repetition.
+bool TraceAllRuns();
+
+// Short name of the running binary (/proc/self/comm), used to label trace
+// files; "bench" when unavailable.
+std::string ProgramName();
 
 }  // namespace crowdtopk::util
 

@@ -1,0 +1,359 @@
+// Tests for the telemetry subsystem: recorder semantics (event ordering,
+// phase nesting, purchase tagging), exporter round-trips, trace aggregation,
+// and the end-to-end invariant the bench harness relies on — a traced SPR
+// run's per-phase TMC/round totals equal the CrowdPlatform aggregates.
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "baselines/heap_sort.h"
+#include "baselines/pbr.h"
+#include "baselines/quick_select.h"
+#include "baselines/tournament_tree.h"
+#include "core/spr.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "metrics/trace_aggregate.h"
+#include "telemetry/export.h"
+#include "telemetry/recorder.h"
+
+namespace crowdtopk {
+namespace {
+
+using telemetry::EventKind;
+using telemetry::PhaseScope;
+using telemetry::PurchaseKind;
+using telemetry::TraceEvent;
+using telemetry::TraceRecorder;
+
+TEST(TraceRecorderTest, SequencesAreDenseAndOrdered) {
+  TraceRecorder recorder;
+  recorder.BeginPhase("a");
+  recorder.RecordPurchase(PurchaseKind::kPreference, 1, 2, 30);
+  recorder.RecordRounds(1);
+  recorder.RecordCounter("c", 2.5);
+  recorder.EndPhase();
+  const auto& events = recorder.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (size_t at = 0; at < events.size(); ++at) {
+    EXPECT_EQ(events[at].sequence, static_cast<int64_t>(at));
+  }
+  EXPECT_EQ(events[0].kind, EventKind::kPhaseBegin);
+  EXPECT_EQ(events[1].kind, EventKind::kPurchase);
+  EXPECT_EQ(events[2].kind, EventKind::kRound);
+  EXPECT_EQ(events[3].kind, EventKind::kCounter);
+  EXPECT_EQ(events[4].kind, EventKind::kPhaseEnd);
+}
+
+TEST(TraceRecorderTest, PhaseNestingBuildsSlashPaths) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.phase_path(), "");
+  recorder.BeginPhase("spr");
+  recorder.BeginPhase("select");
+  EXPECT_EQ(recorder.phase_path(), "spr/select");
+  EXPECT_EQ(recorder.phase_depth(), 2);
+  recorder.RecordPurchase(PurchaseKind::kBinary, 0, 1, 5);
+  recorder.EndPhase();
+  EXPECT_EQ(recorder.phase_path(), "spr");
+  recorder.BeginPhase("partition");
+  recorder.RecordRounds(3);
+  recorder.EndPhase();
+  recorder.EndPhase();
+  EXPECT_EQ(recorder.phase_path(), "");
+  EXPECT_EQ(recorder.phase_depth(), 0);
+
+  const auto& events = recorder.events();
+  // Purchase is attributed to the leaf path active when it fired.
+  EXPECT_EQ(events[2].phase, "spr/select");
+  // End events carry the path of the phase being closed.
+  EXPECT_EQ(events[3].phase, "spr/select");
+  EXPECT_EQ(events[5].phase, "spr/partition");
+  EXPECT_EQ(events.back().phase, "spr");
+}
+
+TEST(TraceRecorderTest, PhaseScopeIsRaiiAndNullSafe) {
+  TraceRecorder recorder;
+  {
+    PhaseScope outer(&recorder, "outer");
+    PhaseScope inner(&recorder, "inner");
+    EXPECT_EQ(recorder.phase_path(), "outer/inner");
+  }
+  EXPECT_EQ(recorder.phase_path(), "");
+  // A null recorder must be a no-op, not a crash.
+  PhaseScope ignored(nullptr, "anything");
+}
+
+TEST(TraceRecorderTest, TotalsTrackPurchasesAndRounds) {
+  TraceRecorder recorder;
+  recorder.RecordPurchase(PurchaseKind::kPreference, 0, 1, 30);
+  recorder.RecordPurchase(PurchaseKind::kGraded, 4, -1, 7);
+  recorder.RecordRounds(2);
+  recorder.RecordRounds(1);
+  EXPECT_EQ(recorder.total_microtasks(), 37);
+  EXPECT_EQ(recorder.total_rounds(), 3);
+  recorder.Clear();
+  EXPECT_EQ(recorder.total_microtasks(), 0);
+  EXPECT_EQ(recorder.total_rounds(), 0);
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST(TraceRecorderTest, PurchaseIterationTagging) {
+  TraceRecorder recorder;
+  recorder.RecordPurchase(PurchaseKind::kPreference, 0, 1, 1);
+  recorder.SetPurchaseIteration(4);
+  recorder.RecordPurchase(PurchaseKind::kPreference, 0, 1, 1);
+  recorder.SetPurchaseIteration(-1);
+  recorder.RecordPurchase(PurchaseKind::kPreference, 0, 1, 1);
+  EXPECT_EQ(recorder.events()[0].iteration, -1);
+  EXPECT_EQ(recorder.events()[1].iteration, 4);
+  EXPECT_EQ(recorder.events()[2].iteration, -1);
+}
+
+TEST(ExportTest, JsonlRoundTripPreservesEveryField) {
+  TraceRecorder recorder;
+  recorder.BeginPhase("spr");
+  recorder.BeginPhase("select");
+  recorder.SetPurchaseIteration(2);
+  recorder.RecordPurchase(PurchaseKind::kPreference, 17, 23, 30);
+  recorder.SetPurchaseIteration(-1);
+  recorder.RecordPurchase(PurchaseKind::kBinary, 3, 5, 60);
+  recorder.RecordPurchase(PurchaseKind::kGraded, 7, -1, 4);
+  recorder.RecordRounds(5);
+  recorder.RecordCounter("reference_changes", 2.0);
+  recorder.RecordCounter("fractional", -0.125);
+  recorder.EndPhase();
+  recorder.EndPhase();
+
+  std::stringstream stream;
+  telemetry::WriteJsonl(recorder.events(), &stream);
+  const auto parsed = telemetry::ReadJsonl(&stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, recorder.events());
+}
+
+TEST(ExportTest, EscapesSpecialCharactersInCounterNames) {
+  TraceRecorder recorder;
+  recorder.RecordCounter("with \"quotes\" and \\slash\\ and\nnewline", 1.0);
+  std::stringstream stream;
+  telemetry::WriteJsonl(recorder.events(), &stream);
+  // Still one line per event despite the embedded newline.
+  std::string line;
+  int64_t lines = 0;
+  while (std::getline(stream, line)) ++lines;
+  EXPECT_EQ(lines, 1);
+  stream.clear();
+  stream.seekg(0);
+  const auto parsed = telemetry::ReadJsonl(&stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, recorder.events());
+}
+
+TEST(ExportTest, MalformedLinesAreRejected) {
+  std::stringstream stream("{\"seq\":0,\"kind\":\"nonsense\",\"phase\":\"\"}");
+  EXPECT_FALSE(telemetry::ReadJsonl(&stream).ok());
+  std::stringstream missing("{\"kind\":\"round\",\"phase\":\"\",\"n\":1}");
+  EXPECT_FALSE(telemetry::ReadJsonl(&missing).ok());
+}
+
+TEST(ExportTest, FileRoundTrip) {
+  TraceRecorder recorder;
+  recorder.BeginPhase("p");
+  recorder.RecordPurchase(PurchaseKind::kPreference, 0, 1, 3);
+  recorder.EndPhase();
+  const std::string path =
+      ::testing::TempDir() + "/telemetry_file_round_trip.jsonl";
+  ASSERT_TRUE(telemetry::WriteJsonlFile(recorder.events(), path).ok());
+  const auto parsed = telemetry::ReadJsonlFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, recorder.events());
+}
+
+TEST(AggregateTest, LeafAndRollupAttribution) {
+  TraceRecorder recorder;
+  recorder.BeginPhase("spr");
+  recorder.BeginPhase("select");
+  recorder.RecordPurchase(PurchaseKind::kPreference, 0, 1, 10);
+  recorder.RecordRounds(1);
+  recorder.EndPhase();
+  recorder.BeginPhase("partition");
+  recorder.RecordPurchase(PurchaseKind::kPreference, 0, 2, 20);
+  recorder.RecordPurchase(PurchaseKind::kPreference, 1, 2, 5);
+  recorder.RecordRounds(2);
+  recorder.EndPhase();
+  recorder.EndPhase();
+  recorder.RecordRounds(1);  // outside any phase
+
+  const auto leaf = metrics::AggregateByPhase(recorder.events());
+  EXPECT_EQ(leaf.at("spr/select").microtasks, 10);
+  EXPECT_EQ(leaf.at("spr/partition").microtasks, 25);
+  EXPECT_EQ(leaf.at("spr/partition").purchases, 2);
+  EXPECT_EQ(leaf.at("").rounds, 1);
+  EXPECT_EQ(leaf.count("spr"), 0u);  // no event fired directly in "spr"
+
+  const auto rollup = metrics::AggregateByPhaseRollup(recorder.events());
+  EXPECT_EQ(rollup.at("spr").microtasks, 35);
+  EXPECT_EQ(rollup.at("spr").rounds, 3);
+  EXPECT_EQ(rollup.at("").microtasks, 35);
+  EXPECT_EQ(rollup.at("").rounds, 4);
+
+  const metrics::PhaseStat totals = metrics::TraceTotals(recorder.events());
+  EXPECT_EQ(totals.microtasks, 35);
+  EXPECT_EQ(totals.rounds, 4);
+  EXPECT_EQ(totals.purchases, 3);
+
+  // Leaf attribution partitions the totals: summing all leaves recovers
+  // the whole trace.
+  metrics::PhaseStat summed;
+  for (const auto& [phase, stat] : leaf) {
+    summed.microtasks += stat.microtasks;
+    summed.rounds += stat.rounds;
+    summed.purchases += stat.purchases;
+  }
+  EXPECT_EQ(summed.microtasks, totals.microtasks);
+  EXPECT_EQ(summed.rounds, totals.rounds);
+  EXPECT_EQ(summed.purchases, totals.purchases);
+}
+
+TEST(AggregateTest, LastCounterReturnsMostRecent) {
+  TraceRecorder recorder;
+  recorder.RecordCounter("x", 1.0);
+  recorder.RecordCounter("x", 7.0);
+  EXPECT_EQ(metrics::LastCounter(recorder.events(), "x"), 7.0);
+  EXPECT_EQ(metrics::LastCounter(recorder.events(), "absent", -1.0), -1.0);
+}
+
+TEST(AggregateTest, PhaseTableRendersOneRowPerPhase) {
+  TraceRecorder recorder;
+  recorder.BeginPhase("a");
+  recorder.RecordPurchase(PurchaseKind::kPreference, 0, 1, 2);
+  recorder.EndPhase();
+  const auto table = metrics::PhaseTable(
+      metrics::AggregateByPhaseRollup(recorder.events()), "t");
+  EXPECT_EQ(table.num_rows(), 2u);  // "(total)" and "a"
+}
+
+// The acceptance invariant of the telemetry layer: for a full traced query,
+// per-phase totals reduce exactly to the platform's aggregate counters, and
+// every microtask is attributed to a named algorithm phase.
+class TracedRunTest : public ::testing::Test {
+ protected:
+  void VerifyAgainstPlatform(core::TopKAlgorithm* algorithm,
+                             const std::string& root_phase) {
+    auto dataset = data::MakeUniformLadder(40, 10.0, 2.0);
+    crowd::CrowdPlatform platform(dataset.get(), /*seed=*/20170514);
+    TraceRecorder recorder;
+    platform.SetRecorder(&recorder);
+    const core::TopKResult result = algorithm->Run(&platform, /*k=*/5);
+    ASSERT_EQ(result.items.size(), 5u);
+
+    // Balanced phases.
+    EXPECT_EQ(recorder.phase_depth(), 0);
+
+    // Exact agreement between the trace reduction and the platform's own
+    // aggregate accounting (and the result's copy of it).
+    const metrics::PhaseStat totals = metrics::TraceTotals(recorder.events());
+    EXPECT_EQ(totals.microtasks, platform.total_microtasks());
+    EXPECT_EQ(totals.rounds, platform.rounds());
+    EXPECT_EQ(totals.microtasks, result.total_microtasks);
+    EXPECT_EQ(totals.rounds, result.rounds);
+    EXPECT_EQ(recorder.total_microtasks(), platform.total_microtasks());
+    EXPECT_EQ(recorder.total_rounds(), platform.rounds());
+    EXPECT_GT(totals.microtasks, 0);
+
+    // Every purchase happened inside the algorithm's root phase.
+    for (const auto& event : recorder.events()) {
+      if (event.kind == EventKind::kPurchase) {
+        EXPECT_EQ(event.phase.rfind(root_phase, 0), 0u)
+            << "purchase outside " << root_phase << ": " << event.phase;
+      }
+    }
+
+    // The rollup root row equals the aggregate.
+    const auto rollup = metrics::AggregateByPhaseRollup(recorder.events());
+    EXPECT_EQ(rollup.at(root_phase).microtasks, platform.total_microtasks());
+  }
+};
+
+TEST_F(TracedRunTest, SprPerPhaseTmcSumsToAggregate) {
+  core::SprOptions options;
+  core::Spr spr(options);
+  VerifyAgainstPlatform(&spr, "spr");
+}
+
+TEST_F(TracedRunTest, SprTraceContainsAllThreePhases) {
+  auto dataset = data::MakeUniformLadder(40, 10.0, 2.0);
+  crowd::CrowdPlatform platform(dataset.get(), /*seed=*/7);
+  TraceRecorder recorder;
+  platform.SetRecorder(&recorder);
+  core::Spr spr(core::SprOptions{});
+  spr.Run(&platform, 5);
+  const auto leaf = metrics::AggregateByPhase(recorder.events());
+  std::set<std::string> roots;
+  for (const auto& [phase, stat] : leaf) {
+    (void)stat;
+    // Collect the first two components ("spr/select", ...).
+    const size_t first = phase.find('/');
+    if (first == std::string::npos) continue;
+    const size_t second = phase.find('/', first + 1);
+    roots.insert(phase.substr(0, second));
+  }
+  EXPECT_TRUE(roots.count("spr/select")) << "missing select phase";
+  EXPECT_TRUE(roots.count("spr/partition")) << "missing partition phase";
+  EXPECT_TRUE(roots.count("spr/rank")) << "missing rank phase";
+
+  // COMP tagging: partition purchases carry the confidence-process
+  // iteration, starting from 0 (cold start).
+  bool saw_tagged = false;
+  for (const auto& event : recorder.events()) {
+    if (event.kind == EventKind::kPurchase &&
+        event.phase.rfind("spr/partition", 0) == 0) {
+      EXPECT_GE(event.iteration, 0);
+      saw_tagged = true;
+    }
+  }
+  EXPECT_TRUE(saw_tagged);
+}
+
+TEST_F(TracedRunTest, BaselinesReconcileToo) {
+  judgment::ComparisonOptions options;
+  {
+    baselines::TournamentTree algorithm(options);
+    VerifyAgainstPlatform(&algorithm, "tourtree");
+  }
+  {
+    baselines::HeapSortTopK algorithm(options);
+    VerifyAgainstPlatform(&algorithm, "heapsort");
+  }
+  {
+    baselines::QuickSelectTopK algorithm(options);
+    VerifyAgainstPlatform(&algorithm, "quickselect");
+  }
+  {
+    baselines::PbrTopK algorithm(options);
+    VerifyAgainstPlatform(&algorithm, "pbr");
+  }
+}
+
+TEST_F(TracedRunTest, UntracedRunsAreUnchanged) {
+  // The same seed with and without a recorder must produce identical
+  // results and accounting: telemetry observes, never perturbs.
+  auto dataset = data::MakeUniformLadder(30, 10.0, 2.0);
+  core::Spr spr(core::SprOptions{});
+
+  crowd::CrowdPlatform plain(dataset.get(), /*seed=*/99);
+  const core::TopKResult expected = spr.Run(&plain, 5);
+
+  crowd::CrowdPlatform traced(dataset.get(), /*seed=*/99);
+  TraceRecorder recorder;
+  traced.SetRecorder(&recorder);
+  const core::TopKResult observed = spr.Run(&traced, 5);
+
+  EXPECT_EQ(expected.items, observed.items);
+  EXPECT_EQ(expected.total_microtasks, observed.total_microtasks);
+  EXPECT_EQ(expected.rounds, observed.rounds);
+}
+
+}  // namespace
+}  // namespace crowdtopk

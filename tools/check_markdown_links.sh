@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Docs lint: verify that every relative markdown link in the repo's tracked
+# .md files points at a file (or directory) that actually exists.
+#
+# Checked:   [text](relative/path), [text](relative/path#anchor)
+# Ignored:   http(s)://, mailto:, pure #anchors, code spans
+#
+# Usage: tools/check_markdown_links.sh [repo_root]
+# Exit 0 when all links resolve; 1 otherwise, listing each broken link.
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 1
+
+if git -C "$root" rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  mapfile -t files < <(git -C "$root" ls-files '*.md')
+else
+  mapfile -t files < <(find "$root" -name '*.md' -not -path '*/build/*' \
+    -printf '%P\n')
+fi
+
+failures=0
+for file in "${files[@]}"; do
+  dir="$(dirname "$file")"
+  # Extract every (...) target of an inline markdown link in this file.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"          # strip anchor
+    [ -z "$path" ] && continue
+    case "$path" in
+      /*) resolved="$root$path" ;;              # repo-absolute
+      *) resolved="$dir/$path" ;;               # relative to the file
+    esac
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $file -> $target"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" 2>/dev/null |
+    sed 's/.*](\([^)]*\))/\1/' | sed 's/ .*//')
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "docs-lint: $failures broken link(s)"
+  exit 1
+fi
+echo "docs-lint: all markdown links resolve"
