@@ -31,41 +31,42 @@ int main() {
   table.SetHeader({"extra budget", "certified pairs (of 9)", "Kendall tau",
                    "refinement cost"});
   for (int64_t budget : {0, 1000, 5000, 20000, 100000}) {
-    double certified = 0.0, tau = 0.0, cost = 0.0;
-    util::Rng seeder(seed + 1);
-    for (int64_t r = 0; r < runs; ++r) {
-      crowd::CrowdPlatform platform(jester.get(), seeder.NextUint64());
-      judgment::ComparisonCache cache(bench::DefaultComparisonOptions());
-      std::vector<crowd::ItemId> items(jester->num_items());
-      std::iota(items.begin(), items.end(), 0);
-      const crowd::ItemId reference =
-          core::SelectReference(items, k, 1.5, 100, &cache, &platform);
-      const core::PartitionResult partition = core::Partition(
-          items, k, reference, 4, &cache, &platform);
-      // Top-k candidates: winners (trimmed/filled to k with ties).
-      std::vector<crowd::ItemId> candidates = partition.winners;
-      candidates.erase(
-          std::remove(candidates.begin(), candidates.end(),
-                      partition.reference),
-          candidates.end());
-      for (crowd::ItemId o : partition.ties) {
-        if (static_cast<int64_t>(candidates.size()) >= k) break;
-        candidates.push_back(o);
-      }
-      if (static_cast<int64_t>(candidates.size()) > k) candidates.resize(k);
-      const core::IntervalRankingResult result = core::RefineByIntervals(
-          candidates, partition.reference, budget, &cache, &platform);
-      certified += static_cast<double>(result.certified_adjacent_pairs);
-      if (result.ranked.size() >= 2) {
-        tau += metrics::KendallTau(*jester, result.ranked);
-      }
-      cost += static_cast<double>(result.refinement_cost);
-    }
-    const double d = static_cast<double>(runs);
-    table.AddRow({std::to_string(budget),
-                  util::FormatDouble(certified / d, 1),
-                  util::FormatDouble(tau / d, 3),
-                  util::FormatDouble(cost / d, 0)});
+    // {certified pairs, Kendall tau, refinement cost} per run.
+    const std::vector<double> mean = bench::AverageOver(
+        runs, seed + 1,
+        [&](int64_t, uint64_t run_seed) -> std::vector<double> {
+          crowd::CrowdPlatform platform(jester.get(), run_seed);
+          judgment::ComparisonCache cache(bench::DefaultComparisonOptions());
+          std::vector<crowd::ItemId> items(jester->num_items());
+          std::iota(items.begin(), items.end(), 0);
+          const crowd::ItemId reference =
+              core::SelectReference(items, k, 1.5, 100, &cache, &platform);
+          const core::PartitionResult partition = core::Partition(
+              items, k, reference, 4, &cache, &platform);
+          // Top-k candidates: winners (trimmed/filled to k with ties).
+          std::vector<crowd::ItemId> candidates = partition.winners;
+          candidates.erase(
+              std::remove(candidates.begin(), candidates.end(),
+                          partition.reference),
+              candidates.end());
+          for (crowd::ItemId o : partition.ties) {
+            if (static_cast<int64_t>(candidates.size()) >= k) break;
+            candidates.push_back(o);
+          }
+          if (static_cast<int64_t>(candidates.size()) > k) {
+            candidates.resize(k);
+          }
+          const core::IntervalRankingResult result = core::RefineByIntervals(
+              candidates, partition.reference, budget, &cache, &platform);
+          const double tau = result.ranked.size() >= 2
+                                 ? metrics::KendallTau(*jester, result.ranked)
+                                 : 0.0;
+          return {static_cast<double>(result.certified_adjacent_pairs), tau,
+                  static_cast<double>(result.refinement_cost)};
+        });
+    table.AddRow({std::to_string(budget), util::FormatDouble(mean[0], 1),
+                  util::FormatDouble(mean[1], 3),
+                  util::FormatDouble(mean[2], 0)});
   }
   table.Print();
   std::printf(

@@ -36,27 +36,27 @@ int main() {
     spr_options.comparison = options;
     core::Spr spr(spr_options);
 
-    double hours = 0.0, usd = 0.0, tasks = 0.0;
-    util::Rng seeder(seed + 1);
-    for (int64_t r = 0; r < runs; ++r) {
-      crowd::SimulatorOptions sim_options;  // 5 workers, 11 s, 0.1 cent
-      crowd::WallClockSimulator simulator(sim_options, seeder.NextUint64());
-      crowd::CrowdPlatform platform(people.get(), seeder.NextUint64());
-      platform.SetLatencyModel(&simulator);
-      spr.Run(&platform, 10);
-      hours += simulator.now_hours();
-      usd += simulator.total_cost_usd();
-      tasks += static_cast<double>(simulator.total_microtasks());
-    }
+    // {hours, usd, microtasks} per run; the engine averages in run order.
+    const std::vector<double> mean = bench::AverageOver(
+        runs, seed + 1,
+        [&](int64_t, uint64_t run_seed) -> std::vector<double> {
+          util::Rng rng(run_seed);
+          crowd::SimulatorOptions sim_options;  // 5 workers, 11 s, 0.1 cent
+          crowd::WallClockSimulator simulator(sim_options, rng.NextUint64());
+          crowd::CrowdPlatform platform(people.get(), rng.NextUint64());
+          platform.SetLatencyModel(&simulator);
+          spr.Run(&platform, 10);
+          return {simulator.now_hours(), simulator.total_cost_usd(),
+                  static_cast<double>(simulator.total_microtasks())};
+        });
     util::TablePrinter table(
         "PeopleAge on a 5-worker simulated marketplace (paper live run: "
         "6.92 h, 10.56 USD)");
     table.SetHeader({"Metric", "This repo", "Paper (live)"});
-    table.AddRow({"wall-clock hours",
-                  util::FormatDouble(hours / runs, 2), "6.92"});
-    table.AddRow({"cost USD", util::FormatDouble(usd / runs, 2), "10.56"});
-    table.AddRow({"microtasks", util::FormatDouble(tasks / runs, 0),
-                  "10560"});
+    table.AddRow({"wall-clock hours", util::FormatDouble(mean[0], 2),
+                  "6.92"});
+    table.AddRow({"cost USD", util::FormatDouble(mean[1], 2), "10.56"});
+    table.AddRow({"microtasks", util::FormatDouble(mean[2], 0), "10560"});
     table.Print();
     std::printf("\n");
   }
@@ -71,24 +71,24 @@ int main() {
     table.SetHeader({"Method", "hours", "USD", "rounds"});
     auto methods = bench::ConfidenceAwareMethods(options);
     for (auto& method : methods) {
-      double hours = 0.0, usd = 0.0, rounds = 0.0;
-      util::Rng seeder(seed + 2);
-      for (int64_t r = 0; r < runs; ++r) {
-        crowd::SimulatorOptions sim_options;
-        sim_options.num_workers = 30;
-        crowd::WallClockSimulator simulator(sim_options,
-                                            seeder.NextUint64());
-        crowd::CrowdPlatform platform(jester.get(), seeder.NextUint64());
-        platform.SetLatencyModel(&simulator);
-        const core::TopKResult result =
-            method->Run(&platform, bench::DefaultK());
-        hours += simulator.now_hours();
-        usd += simulator.total_cost_usd();
-        rounds += static_cast<double>(result.rounds);
-      }
-      table.AddRow({method->name(), util::FormatDouble(hours / runs, 2),
-                    util::FormatDouble(usd / runs, 2),
-                    util::FormatDouble(rounds / runs, 0)});
+      const std::vector<double> mean = bench::AverageOver(
+          runs, seed + 2,
+          [&](int64_t, uint64_t run_seed) -> std::vector<double> {
+            util::Rng rng(run_seed);
+            crowd::SimulatorOptions sim_options;
+            sim_options.num_workers = 30;
+            crowd::WallClockSimulator simulator(sim_options,
+                                                rng.NextUint64());
+            crowd::CrowdPlatform platform(jester.get(), rng.NextUint64());
+            platform.SetLatencyModel(&simulator);
+            const core::TopKResult result =
+                method->Run(&platform, bench::DefaultK());
+            return {simulator.now_hours(), simulator.total_cost_usd(),
+                    static_cast<double>(result.rounds)};
+          });
+      table.AddRow({method->name(), util::FormatDouble(mean[0], 2),
+                    util::FormatDouble(mean[1], 2),
+                    util::FormatDouble(mean[2], 0)});
     }
     table.Print();
     std::printf(

@@ -71,21 +71,24 @@ int main() {
           bench::AverageRuns(*imdb, &spr, bench::DefaultK(), runs, seed + 1);
     } else {
       // The pool wraps the dataset but quality is still scored against the
-      // dataset's ground truth. (AverageRuns needs a Dataset; wrap manually.)
+      // dataset's ground truth. (AverageRuns needs a Dataset; wrap
+      // manually.) The pool is immutable after construction, so parallel
+      // runs share it safely.
       crowd::WorkerPoolOracle pool(imdb.get(), scenario.pool, seed + index);
-      double tmc = 0.0, ndcg = 0.0, precision = 0.0;
-      util::Rng seeder(seed + 1);
-      for (int64_t r = 0; r < runs; ++r) {
-        crowd::CrowdPlatform platform(&pool, seeder.NextUint64());
-        const core::TopKResult result = spr.Run(&platform, bench::DefaultK());
-        tmc += static_cast<double>(result.total_microtasks);
-        ndcg += metrics::Ndcg(*imdb, result.items, bench::DefaultK());
-        precision +=
-            metrics::PrecisionAtK(*imdb, result.items, bench::DefaultK());
-      }
-      averages.tmc = tmc / static_cast<double>(runs);
-      averages.ndcg = ndcg / static_cast<double>(runs);
-      averages.precision = precision / static_cast<double>(runs);
+      const std::vector<double> mean = bench::AverageOver(
+          runs, seed + 1,
+          [&](int64_t, uint64_t run_seed) -> std::vector<double> {
+            crowd::CrowdPlatform platform(&pool, run_seed);
+            const core::TopKResult result =
+                spr.Run(&platform, bench::DefaultK());
+            return {static_cast<double>(result.total_microtasks),
+                    metrics::Ndcg(*imdb, result.items, bench::DefaultK()),
+                    metrics::PrecisionAtK(*imdb, result.items,
+                                          bench::DefaultK())};
+          });
+      averages.tmc = mean[0];
+      averages.ndcg = mean[1];
+      averages.precision = mean[2];
     }
     table.AddRow({scenario.name, util::FormatDouble(averages.tmc, 0),
                   util::FormatDouble(averages.ndcg, 3),

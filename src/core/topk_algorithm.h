@@ -38,6 +38,13 @@ class TopKAlgorithm {
   // should be freshly constructed (counters at zero); the result copies the
   // platform's final counters.
   virtual TopKResult Run(crowd::CrowdPlatform* platform, int64_t k) = 0;
+
+  // Whether concurrent Run() calls on this *same object* (each with its own
+  // platform) are safe, i.e. Run never writes to algorithm state. The
+  // parallel experiment engine (exec/run_engine.h) serialises repetitions
+  // of algorithms that return false. Default true: most algorithms here
+  // treat their options as read-only.
+  virtual bool concurrent_runs_safe() const { return true; }
 };
 
 }  // namespace crowdtopk::core

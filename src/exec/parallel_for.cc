@@ -1,0 +1,91 @@
+#include "exec/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace crowdtopk::exec {
+
+namespace {
+
+// Shared loop state; lives on the caller's stack for the duration of the
+// ParallelFor (the caller joins all helpers before returning).
+struct LoopState {
+  std::atomic<int64_t> next;
+  int64_t end = 0;
+  const std::function<void(int64_t)>* body = nullptr;
+
+  // First-failing-index exception transport.
+  std::mutex failure_mutex;
+  int64_t failed_index = -1;
+  std::exception_ptr exception;
+
+  // Helper-task join.
+  std::mutex join_mutex;
+  std::condition_variable joined;
+  int64_t helpers_active = 0;
+
+  void RunLoop() {
+    for (;;) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        if (failed_index < 0 || i < failed_index) {
+          failed_index = i;
+          exception = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body,
+                 int64_t max_workers) {
+  if (end <= begin) return;
+  int64_t workers = pool == nullptr ? 1 : pool->num_threads();
+  if (max_workers > 0) workers = std::min(workers, max_workers);
+  workers = std::min(workers, end - begin);
+
+  if (pool == nullptr || workers <= 1) {
+    // Serial path: plain loop, zero synchronisation. Stops at the first
+    // throwing index (which is also the smallest, since indices run in
+    // order), so the escaping exception matches the parallel path's.
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  LoopState state;
+  state.next.store(begin, std::memory_order_relaxed);
+  state.end = end;
+  state.body = &body;
+  state.helpers_active = workers - 1;  // the caller is the last executor
+
+  for (int64_t w = 0; w < workers - 1; ++w) {
+    pool->Submit([&state] {
+      state.RunLoop();
+      // Notify while still holding the mutex: the caller destroys `state`
+      // (and this condition variable) as soon as it observes zero, and it
+      // can only leave wait() after re-acquiring the mutex — i.e. after the
+      // notify below has fully completed. Notifying outside the lock would
+      // race the notify against the destructor.
+      std::lock_guard<std::mutex> lock(state.join_mutex);
+      if (--state.helpers_active == 0) state.joined.notify_all();
+    });
+  }
+  state.RunLoop();
+  {
+    std::unique_lock<std::mutex> lock(state.join_mutex);
+    state.joined.wait(lock, [&state] { return state.helpers_active == 0; });
+  }
+  if (state.exception) std::rethrow_exception(state.exception);
+}
+
+}  // namespace crowdtopk::exec

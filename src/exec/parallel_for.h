@@ -1,0 +1,41 @@
+// Deterministic index-space dispatch on top of the thread pool.
+//
+// ParallelFor(pool, begin, end, body) calls body(i) exactly once for every
+// index i in [begin, end) and returns when all calls have finished. Indices
+// are claimed dynamically (an atomic cursor), so the *assignment* of index
+// to thread — and the finishing order — is scheduling-dependent; callers
+// that need reproducible results must make body(i) a pure function of i
+// (per-index RNG streams via util::SplitSeed, writes only to slot i of a
+// pre-sized output). Under that contract the result is bit-identical for
+// every worker count, including the inline serial path.
+//
+// Exceptions: if one or more body invocations throw, the loop still runs
+// every index to completion, and then the exception thrown by the
+// *smallest* failing index is rethrown on the calling thread —
+// deterministic even when several indices fail. (The serial path stops at
+// the first throwing index instead, which is the same smallest index.)
+//
+// The calling thread participates in the loop, so ParallelFor(pool, ...)
+// with max_workers == 1 (or pool == nullptr) degenerates to a plain serial
+// for-loop with no synchronisation at all — the legacy execution path.
+
+#ifndef CROWDTOPK_EXEC_PARALLEL_FOR_H_
+#define CROWDTOPK_EXEC_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "exec/thread_pool.h"
+
+namespace crowdtopk::exec {
+
+// Runs body(i) for all i in [begin, end) using at most `max_workers`
+// concurrent executors (0 = pool->num_threads(); the caller counts as one
+// executor). `pool` may be nullptr for the serial path.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body,
+                 int64_t max_workers = 0);
+
+}  // namespace crowdtopk::exec
+
+#endif  // CROWDTOPK_EXEC_PARALLEL_FOR_H_

@@ -1,0 +1,51 @@
+#include "exec/result_sink.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace crowdtopk::exec {
+
+ResultSink::ResultSink(int64_t runs)
+    : records_(static_cast<size_t>(runs)),
+      filled_(static_cast<size_t>(runs), false),
+      remaining_(runs) {
+  CROWDTOPK_CHECK_GE(runs, 0);
+}
+
+void ResultSink::Put(int64_t run, std::vector<double> values) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CROWDTOPK_CHECK_GE(run, 0);
+  CROWDTOPK_CHECK_LT(run, static_cast<int64_t>(records_.size()));
+  CROWDTOPK_CHECK(!filled_[static_cast<size_t>(run)]);
+  records_[static_cast<size_t>(run)] = std::move(values);
+  filled_[static_cast<size_t>(run)] = true;
+  --remaining_;
+}
+
+bool ResultSink::Complete() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return remaining_ == 0;
+}
+
+std::vector<std::vector<double>> ResultSink::Take() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CROWDTOPK_CHECK_EQ(remaining_, 0);
+  return std::move(records_);
+}
+
+std::vector<double> ResultSink::Mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CROWDTOPK_CHECK_EQ(remaining_, 0);
+  const int64_t n = static_cast<int64_t>(records_.size());
+  if (n == 0) return {};
+  std::vector<double> sums(records_[0].size(), 0.0);
+  for (const std::vector<double>& record : records_) {
+    CROWDTOPK_CHECK_EQ(record.size(), sums.size());
+    for (size_t c = 0; c < sums.size(); ++c) sums[c] += record[c];
+  }
+  for (double& s : sums) s /= static_cast<double>(n);
+  return sums;
+}
+
+}  // namespace crowdtopk::exec

@@ -1,0 +1,57 @@
+// Thread-safe collection point for per-run experiment records.
+//
+// Concurrent tasks complete in scheduling order, but aggregates must not
+// depend on that order: floating-point addition is not associative, so
+// "accumulate as results arrive" would make averages vary from run to run.
+// ResultSink therefore stores each record in the slot of its run index and
+// only *reduces* (in canonical index order, on the caller's thread) once
+// every slot is filled — the reduction is then the exact same sequence of
+// additions the serial loop performs, making parallel aggregates
+// bit-identical to serial ones.
+//
+// A record is a flat vector of doubles; what the columns mean is the
+// caller's business (the bench harness uses {tmc, rounds, ndcg, precision}).
+
+#ifndef CROWDTOPK_EXEC_RESULT_SINK_H_
+#define CROWDTOPK_EXEC_RESULT_SINK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace crowdtopk::exec {
+
+class ResultSink {
+ public:
+  // A sink for `runs` records, indexed 0 .. runs-1.
+  explicit ResultSink(int64_t runs);
+
+  ResultSink(const ResultSink&) = delete;
+  ResultSink& operator=(const ResultSink&) = delete;
+
+  // Deposits the record of run `run`. Each slot must be filled exactly
+  // once. Thread-safe.
+  void Put(int64_t run, std::vector<double> values);
+
+  // True once every slot has been filled. Thread-safe.
+  bool Complete() const;
+
+  // The records in run-index order. CHECKs completeness. Must only be
+  // called after all producers have finished.
+  std::vector<std::vector<double>> Take();
+
+  // Canonical-order column means: the exact additions a serial loop over
+  // runs 0..N-1 would perform, divided by N. CHECKs completeness and that
+  // all records have equal width.
+  std::vector<double> Mean() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<double>> records_;
+  std::vector<bool> filled_;
+  int64_t remaining_;
+};
+
+}  // namespace crowdtopk::exec
+
+#endif  // CROWDTOPK_EXEC_RESULT_SINK_H_

@@ -1,0 +1,120 @@
+#include "exec/thread_pool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "util/check.h"
+
+namespace crowdtopk::exec {
+
+ThreadPool::ThreadPool(int64_t num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int64_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int64_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  CROWDTOPK_CHECK(task != nullptr);
+  const int64_t target =
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % num_threads();
+  {
+    Worker& worker = *workers_[static_cast<size_t>(target)];
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CROWDTOPK_CHECK(!stop_);
+    ++queued_;
+    ++unfinished_;
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+int64_t ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int64_t>(hw);
+}
+
+bool ThreadPool::TryPop(int64_t self, std::function<void()>* task) {
+  // Own deque: LIFO.
+  {
+    Worker& mine = *workers_[static_cast<size_t>(self)];
+    std::lock_guard<std::mutex> lock(mine.mutex);
+    if (!mine.tasks.empty()) {
+      *task = std::move(mine.tasks.back());
+      mine.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal: scan siblings starting after self, FIFO from their front.
+  const int64_t n = num_threads();
+  for (int64_t offset = 1; offset < n; ++offset) {
+    Worker& victim = *workers_[static_cast<size_t>((self + offset) % n)];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int64_t self) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stop_, and nothing left to claim
+      --queued_;                 // claim one task before popping
+    }
+    // The claim guarantees at least as many visible tasks as claimants, but
+    // a sibling's scan may momentarily beat us to "our" deque entry, so
+    // retry until the claimed task is found.
+    std::function<void()> task;
+    while (!TryPop(self, &task)) std::this_thread::yield();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "exec::ThreadPool: task threw \"%s\"; pool tasks must "
+                   "not throw (use ParallelFor to propagate exceptions)\n",
+                   e.what());
+      std::abort();
+    } catch (...) {
+      std::fprintf(stderr, "exec::ThreadPool: task threw; aborting\n");
+      std::abort();
+    }
+    bool all_done;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      all_done = --unfinished_ == 0;
+    }
+    if (all_done) drained_.notify_all();
+  }
+}
+
+}  // namespace crowdtopk::exec

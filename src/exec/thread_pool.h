@@ -1,0 +1,93 @@
+// Work-stealing thread pool: the bottom layer of the execution subsystem.
+//
+// N worker threads each own a deque of tasks. A worker services its own
+// deque LIFO (newest first, for cache locality of nested submissions) and,
+// when empty, steals from the *front* of a sibling's deque (oldest first,
+// so stolen work is the work least likely to be touched by its owner soon).
+// External Submit() calls distribute round-robin across the worker deques.
+//
+// The pool makes no ordering or fairness promises — determinism is the
+// responsibility of the layers above (parallel_for assigns work by index,
+// run_engine derives per-task RNG streams by index and reduces results in
+// index order), which is exactly what lets this layer schedule greedily.
+//
+// Tasks must not throw: an exception escaping a task aborts the process
+// with a diagnostic (there is nobody to rethrow to on a worker thread).
+// Layers that run user code (parallel_for) wrap it and transport the first
+// exception back to the caller instead.
+//
+// Destruction drains: ~ThreadPool() waits for every already-submitted task
+// to finish before joining the workers, so captured references stay valid
+// for the lifetime of the pool object.
+
+#ifndef CROWDTOPK_EXEC_THREAD_POOL_H_
+#define CROWDTOPK_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crowdtopk::exec {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int64_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  int64_t num_threads() const {
+    return static_cast<int64_t>(workers_.size());
+  }
+
+  // Enqueues `task` for execution on some worker thread. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished. Thread-safe, but
+  // must not be called from inside a pool task (it would wait on itself).
+  void Drain();
+
+  // Best-effort hardware concurrency; at least 1.
+  static int64_t HardwareThreads();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mutex;
+  };
+
+  void WorkerLoop(int64_t self);
+
+  // Pops one task: own deque back first, then steals siblings' fronts.
+  // Returns false if every deque is empty at scan time.
+  bool TryPop(int64_t self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<int64_t> next_worker_{0};  // round-robin submission cursor
+
+  // Guards sleep/wake and the counters below. Kept separate from the
+  // per-worker deque mutexes. Invariant: a task is pushed to its deque
+  // *before* queued_ is incremented, and a worker decrements queued_
+  // *before* popping, so queued_ > 0 implies work is visible in a deque.
+  std::mutex mutex_;
+  std::condition_variable wake_;      // workers wait here when idle
+  std::condition_variable drained_;   // Drain()/dtor wait here
+  int64_t queued_ = 0;                // pushed but not yet claimed
+  int64_t unfinished_ = 0;            // submitted but not yet completed
+  bool stop_ = false;
+};
+
+}  // namespace crowdtopk::exec
+
+#endif  // CROWDTOPK_EXEC_THREAD_POOL_H_

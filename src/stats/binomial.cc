@@ -9,9 +9,9 @@ namespace crowdtopk::stats {
 
 double LogBinomialCoefficient(int64_t n, int64_t k) {
   CROWDTOPK_CHECK(k >= 0 && k <= n);
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LogGamma(static_cast<double>(n) + 1.0) -
+         LogGamma(static_cast<double>(k) + 1.0) -
+         LogGamma(static_cast<double>(n - k) + 1.0);
 }
 
 double BinomialPmf(int64_t n, int64_t k, double p) {

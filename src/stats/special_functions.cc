@@ -7,9 +7,20 @@
 
 namespace crowdtopk::stats {
 
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // lgamma_r reports the sign through an out-parameter instead of writing
+  // the process-global `signgam`, so concurrent runs do not race.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 double LogBeta(double a, double b) {
   CROWDTOPK_CHECK(a > 0.0 && b > 0.0);
-  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return LogGamma(a) + LogGamma(b) - LogGamma(a + b);
 }
 
 namespace {

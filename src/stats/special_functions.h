@@ -12,6 +12,12 @@
 
 namespace crowdtopk::stats {
 
+// Natural log of |Gamma(x)|. Thread-safe, unlike std::lgamma, which writes
+// the process-global `signgam` on every call — a data race when experiment
+// repetitions run concurrently (src/exec). All stats code calls this
+// wrapper instead of std::lgamma directly.
+double LogGamma(double x);
+
 // Natural log of the Beta function B(a, b). Requires a > 0, b > 0.
 double LogBeta(double a, double b);
 

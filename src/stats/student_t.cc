@@ -11,8 +11,7 @@ namespace crowdtopk::stats {
 
 double StudentTPdf(double t, double df) {
   CROWDTOPK_CHECK(df > 0.0);
-  const double log_norm = std::lgamma(0.5 * (df + 1.0)) -
-                          std::lgamma(0.5 * df) -
+  const double log_norm = LogGamma(0.5 * (df + 1.0)) - LogGamma(0.5 * df) -
                           0.5 * std::log(df * M_PI);
   return std::exp(log_norm -
                   0.5 * (df + 1.0) * std::log1p(t * t / df));

@@ -32,7 +32,21 @@ const char* PurchaseKindName(PurchaseKind kind) {
   return "unknown";
 }
 
+void TraceRecorder::AssertOwningThread() {
+#ifdef NDEBUG
+  // Release builds: the contract is documented, not enforced.
+#else
+  const std::thread::id self = std::this_thread::get_id();
+  if (owner_thread_ == std::thread::id()) owner_thread_ = self;
+  // A recorder belongs to exactly one run, hence one thread. Recording
+  // from a second thread means it was shared across parallel runs — the
+  // trace would interleave events of unrelated runs.
+  CROWDTOPK_CHECK(owner_thread_ == self);
+#endif
+}
+
 TraceEvent* TraceRecorder::Append(EventKind kind) {
+  AssertOwningThread();
   TraceEvent& event = events_.emplace_back();
   event.sequence = static_cast<int64_t>(events_.size()) - 1;
   event.kind = kind;
@@ -89,6 +103,7 @@ void TraceRecorder::Clear() {
   events_.clear();
   total_microtasks_ = 0;
   total_rounds_ = 0;
+  owner_thread_ = std::thread::id();  // next recording thread re-latches
 }
 
 }  // namespace crowdtopk::telemetry

@@ -12,12 +12,20 @@
 // simulator's execution model; the aggregate counters (total_microtasks,
 // total_rounds) are maintained incrementally so consistency checks against
 // CrowdPlatform's own counters are O(1).
+//
+// Single-threaded is a *contract*, not an accident: under the parallel
+// experiment engine (exec/run_engine.h) each run constructs its recorder
+// inside its own task, so one recorder is only ever touched by one thread.
+// In debug builds the recorder latches the first recording thread's id and
+// CHECK-fails if any other thread records into it, so a recorder shared
+// across runs fails loudly instead of silently corrupting the trace.
 
 #ifndef CROWDTOPK_TELEMETRY_RECORDER_H_
 #define CROWDTOPK_TELEMETRY_RECORDER_H_
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "telemetry/events.h"
@@ -70,12 +78,20 @@ class TraceRecorder {
   int64_t total_microtasks() const { return total_microtasks_; }
   int64_t total_rounds() const { return total_rounds_; }
 
-  // Drops all events and totals; open phases are kept.
+  // Drops all events and totals; open phases are kept. Also releases the
+  // debug-mode thread ownership, so a cleared recorder may be handed to a
+  // different thread.
   void Clear();
 
  private:
   TraceEvent* Append(EventKind kind);
 
+  // Debug-mode ownership assertion: latches the first recording thread and
+  // aborts on recording from any other (no-op under NDEBUG). Clear()
+  // releases ownership so a recorder may be reused by a later run.
+  void AssertOwningThread();
+
+  std::thread::id owner_thread_;  // default-constructed = unowned
   std::vector<TraceEvent> events_;
   std::vector<std::string> phase_stack_;
   std::string phase_path_;  // cached join of phase_stack_

@@ -51,6 +51,15 @@ uint64_t BenchSeed(uint64_t fallback) {
       GetEnvInt64("CROWDTOPK_SEED", static_cast<int64_t>(fallback)));
 }
 
+int64_t BenchJobs() {
+  const int64_t jobs = GetEnvInt64("CROWDTOPK_JOBS", 0);
+  return jobs < 0 ? 0 : jobs;
+}
+
+std::string RegistryPath() { return GetEnvString("CROWDTOPK_REGISTRY", ""); }
+
+bool ProgressEnabled() { return GetEnvBool("CROWDTOPK_PROGRESS", false); }
+
 bool TraceEnabled() { return GetEnvBool("CROWDTOPK_TRACE", false); }
 
 std::string TraceDir() { return GetEnvString("CROWDTOPK_TRACE_DIR", "."); }

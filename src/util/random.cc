@@ -14,6 +14,17 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+uint64_t SplitSeed(uint64_t seed, uint64_t stream) {
+  // Two finalizer applications: the first decorrelates the master seed, the
+  // second mixes in the stream index scaled by the golden-ratio gamma (the
+  // same increment splitmix64 itself uses), so that consecutive stream
+  // indices land far apart in the seed space.
+  uint64_t state = seed;
+  uint64_t mixed = SplitMix64(&state);
+  state = mixed ^ ((stream + 1) * 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(&state);
+}
+
 namespace {
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace

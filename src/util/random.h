@@ -19,6 +19,19 @@ namespace crowdtopk::util {
 // splitmix64 step; used for seeding and for hashing seeds together.
 uint64_t SplitMix64(uint64_t* state);
 
+// Derives the seed of the `stream`-th child stream of `seed` by hashing both
+// words through the splitmix64 finalizer. The result depends only on
+// (seed, stream) — never on how many random numbers anyone has drawn — so
+// streams derived this way are safe to hand to concurrently executing tasks.
+//
+// Contrast with the obvious alternative of drawing child seeds sequentially
+// from a shared seeder Rng (`seeder.NextUint64()` per child): there the i-th
+// child's seed depends on how many seeds were drawn before it, i.e. on
+// dispatch order, which is exactly what a parallel scheduler does not
+// guarantee. SplitSeed makes run i's randomness a pure function of the
+// master seed and the run index.
+uint64_t SplitSeed(uint64_t seed, uint64_t stream);
+
 // xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
 class Xoshiro256 {
  public:
@@ -39,7 +52,7 @@ class Xoshiro256 {
 // needs. Deliberately small: only what the simulation uses.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : engine_(seed) {}
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
 
   // Raw 64 random bits.
   uint64_t NextUint64() { return engine_(); }
@@ -79,11 +92,22 @@ class Rng {
   }
 
   // Derives an independent child generator; useful for giving each run or
-  // each dataset its own stream while keeping one master seed.
+  // each dataset its own stream while keeping one master seed. The child's
+  // seed is the next draw of this engine, so Fork() is order-dependent:
+  // forking after N draws yields a different child than forking after N+1.
+  // Fine inside one sequential computation; NOT safe for seeding work that
+  // may execute in a different order than it was forked (use Split).
   Rng Fork();
+
+  // Derives the `stream`-th child generator as a pure function of this
+  // Rng's construction seed (SplitSeed above): independent of how many
+  // values have been drawn, so identical streams are obtained no matter in
+  // which order (or on which thread) the children are created.
+  Rng Split(uint64_t stream) const { return Rng(SplitSeed(seed_, stream)); }
 
  private:
   Xoshiro256 engine_;
+  uint64_t seed_;  // construction seed; anchors Split() streams
   // Box-Muller produces pairs; cache the spare value.
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
