@@ -26,6 +26,12 @@
 
 namespace crowdtopk::crowd {
 
+// The purchase and round-boundary methods are virtual so that a serving
+// layer can interpose on the metering point without touching any algorithm:
+// serve::AsyncPlatform (src/serve) derives from CrowdPlatform, delegates
+// judgment sampling and accounting to this base class, and additionally
+// parks the calling query at round boundaries while a shared BatchScheduler
+// multiplexes the microtasks of all in-flight queries.
 class CrowdPlatform {
  public:
   // `oracle` must outlive the platform. `seed` drives all judgment sampling.
@@ -34,28 +40,31 @@ class CrowdPlatform {
   CrowdPlatform(const CrowdPlatform&) = delete;
   CrowdPlatform& operator=(const CrowdPlatform&) = delete;
 
+  virtual ~CrowdPlatform() = default;
+
   const JudgmentOracle& oracle() const { return *oracle_; }
   int64_t num_items() const { return oracle_->num_items(); }
 
   // Buys `count` preference judgments for the pair (i, j), appending them to
   // *out. Each judgment costs one microtask.
-  void CollectPreferences(ItemId i, ItemId j, int64_t count,
-                          std::vector<double>* out);
+  virtual void CollectPreferences(ItemId i, ItemId j, int64_t count,
+                                  std::vector<double>* out);
 
   // Buys `count` binary judgments in {-1, +1}.
-  void CollectBinaryVotes(ItemId i, ItemId j, int64_t count,
-                          std::vector<double>* out);
+  virtual void CollectBinaryVotes(ItemId i, ItemId j, int64_t count,
+                                  std::vector<double>* out);
 
   // Buys `count` graded judgments of item i in [0, 1].
-  void CollectGrades(ItemId i, int64_t count, std::vector<double>* out);
+  virtual void CollectGrades(ItemId i, int64_t count,
+                             std::vector<double>* out);
 
   // Marks the end of one batch round: everything purchased since the last
   // call is considered to have been outsourced in parallel.
-  void NextRound();
+  virtual void NextRound();
 
   // Accounts `n` additional rounds at once (for sequential sub-phases whose
   // round count is known in closed form).
-  void AccountRounds(int64_t n);
+  virtual void AccountRounds(int64_t n);
 
   // Attaches an observer translating purchases/rounds into a richer latency
   // model (e.g. the wall-clock marketplace simulator). May be nullptr to

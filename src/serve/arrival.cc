@@ -1,0 +1,34 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace crowdtopk::serve {
+namespace {
+
+// Salt separating the arrival-trace stream from the judgment and latency
+// streams derived elsewhere from the same master seed.
+constexpr uint64_t kArrivalStream = 0x6172726976616c01ULL;
+
+}  // namespace
+
+std::vector<double> PoissonArrivals(int64_t n, double rate_per_second,
+                                    uint64_t seed) {
+  CROWDTOPK_CHECK_GE(n, 0);
+  CROWDTOPK_CHECK(rate_per_second > 0.0);
+  util::Rng rng(util::SplitSeed(seed, kArrivalStream));
+  std::vector<double> arrivals;
+  arrivals.reserve(n);
+  double t = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    double u = rng.Uniform();
+    while (u <= 0.0) u = rng.Uniform();
+    t += -std::log(u) / rate_per_second;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace crowdtopk::serve

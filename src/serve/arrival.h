@@ -1,0 +1,25 @@
+// Open-loop arrival traces for the serving layer.
+//
+// A serving experiment replays a deterministic trace of query arrival
+// times: open-loop (arrivals do not react to completions, the standard
+// model for latency benchmarking under load) and Poisson (exponential
+// inter-arrival gaps), generated from a seed — never from the wall clock —
+// so the same seed always yields the same trace.
+
+#ifndef CROWDTOPK_SERVE_ARRIVAL_H_
+#define CROWDTOPK_SERVE_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crowdtopk::serve {
+
+// `n` arrival times in simulated seconds, ascending, starting at the first
+// exponential gap after t = 0. `rate_per_second` > 0 is the Poisson
+// intensity lambda (mean inter-arrival time 1 / lambda).
+std::vector<double> PoissonArrivals(int64_t n, double rate_per_second,
+                                    uint64_t seed);
+
+}  // namespace crowdtopk::serve
+
+#endif  // CROWDTOPK_SERVE_ARRIVAL_H_

@@ -1,0 +1,199 @@
+#include "serve/query_service.h"
+
+#include <cctype>
+#include <cstdio>
+#include <deque>
+#include <thread>
+
+#include "metrics/ranking_metrics.h"
+#include "metrics/trace_aggregate.h"
+#include "serve/async_platform.h"
+#include "telemetry/export.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace crowdtopk::serve {
+namespace {
+
+// Salt separating the per-query judgment streams from the latency and
+// arrival streams derived from the same master seed.
+constexpr uint64_t kJudgmentStream = 0x6a7564676d656e74ULL;
+
+std::string FileToken(const std::string& name) {
+  std::string token;
+  for (char c : name) {
+    token += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(std::tolower(c))
+                 : '_';
+  }
+  return token.empty() ? "algo" : token;
+}
+
+}  // namespace
+
+QueryService::QueryService(const ServeOptions& options)
+    : options_(options),
+      judgment_seed_(util::SplitSeed(options.seed, kJudgmentStream)) {
+  CROWDTOPK_CHECK_GE(options.max_inflight, 1);
+  CROWDTOPK_CHECK_GE(options.jobs, 0);
+}
+
+std::vector<QueryOutcome> QueryService::Replay(
+    const std::vector<QueryRequest>& requests,
+    const std::vector<double>& arrivals) {
+  CROWDTOPK_CHECK(!replayed_);
+  replayed_ = true;
+  const int64_t n = static_cast<int64_t>(requests.size());
+  CROWDTOPK_CHECK_EQ(n, static_cast<int64_t>(arrivals.size()));
+  for (int64_t i = 0; i < n; ++i) {
+    CROWDTOPK_CHECK(requests[i].algorithm != nullptr);
+    CROWDTOPK_CHECK(requests[i].dataset != nullptr);
+    CROWDTOPK_CHECK_GE(requests[i].k, 1);
+    // One algorithm instance serves many concurrent queries.
+    CROWDTOPK_CHECK(requests[i].algorithm->concurrent_runs_safe());
+    if (i > 0) CROWDTOPK_CHECK(arrivals[i - 1] <= arrivals[i]);
+  }
+
+  requests_ = &requests;
+  outcomes_.assign(n, QueryOutcome());
+  if (options_.jobs != 1) {
+    pool_ = std::make_unique<exec::ThreadPool>(
+        options_.jobs == 0 ? exec::ThreadPool::HardwareThreads()
+                           : options_.jobs);
+  }
+  scheduler_ = std::make_unique<BatchScheduler>(options_.schedule,
+                                                options_.seed, pool_.get());
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(n);
+  std::deque<int64_t> admission;
+  int64_t next_arrival = 0;
+  int64_t inflight = 0;
+  int64_t done = 0;
+
+  while (done < n) {
+    // Move due arrivals into the admission queue (or reject on overflow).
+    const double now = scheduler_->now_seconds();
+    while (next_arrival < n && arrivals[next_arrival] <= now) {
+      const int64_t id = next_arrival++;
+      if (options_.max_queue >= 0 && inflight >= options_.max_inflight &&
+          static_cast<int64_t>(admission.size()) >= options_.max_queue) {
+        QueryOutcome& o = outcomes_[id];
+        o.rejected = true;
+        o.status = util::Status::ResourceExhausted(
+            "admission queue full (max_queue=" +
+            std::to_string(options_.max_queue) + ")");
+        ++done;
+        continue;
+      }
+      admission.push_back(id);
+    }
+    // Admit FIFO into free in-flight slots; each admitted query gets its
+    // own driver thread running the unmodified synchronous algorithm.
+    while (!admission.empty() && inflight < options_.max_inflight) {
+      const int64_t id = admission.front();
+      admission.pop_front();
+      scheduler_->AdmitQuery(id);
+      ++inflight;
+      drivers.emplace_back([this, id] { DriverMain(id); });
+    }
+
+    scheduler_->WaitQuiescent();
+    const std::vector<int64_t> finished = scheduler_->DrainFinished();
+    if (!finished.empty()) {
+      inflight -= static_cast<int64_t>(finished.size());
+      done += static_cast<int64_t>(finished.size());
+      continue;  // freed slots admit waiting queries before the next round
+    }
+    if (scheduler_->AnyParked()) {
+      scheduler_->ExecuteRound();
+    } else if (next_arrival < n) {
+      // Nothing in flight: idle forward to the next arrival.
+      CROWDTOPK_CHECK_EQ(inflight, 0);
+      scheduler_->AdvanceTimeTo(arrivals[next_arrival]);
+    } else {
+      CROWDTOPK_CHECK_EQ(done, n);
+    }
+  }
+  for (std::thread& t : drivers) t.join();
+
+  for (int64_t id = 0; id < n; ++id) {
+    QueryOutcome& o = outcomes_[id];
+    o.query_id = id;
+    o.algorithm = requests[id].algorithm->name();
+    o.arrival_seconds = arrivals[id];
+    if (o.rejected) {
+      o.start_seconds = o.finish_seconds = arrivals[id];
+      continue;
+    }
+    const QueryServeStats stats = scheduler_->QueryStats(id);
+    o.status = stats.status;
+    o.start_seconds = stats.admitted_seconds;
+    o.finish_seconds = stats.finished_seconds;
+    o.latency_seconds = stats.finished_seconds - arrivals[id];
+    o.rounds_observed = stats.finished_round - stats.admitted_round;
+    o.expired_assignments = stats.expired_assignments;
+    o.requeued_assignments = stats.requeued_assignments;
+  }
+  assignment_stats_ = scheduler_->assignment_stats();
+  makespan_seconds_ = scheduler_->now_seconds();
+  total_rounds_ = scheduler_->round();
+  return outcomes_;
+}
+
+void QueryService::DriverMain(int64_t query_id) {
+  const QueryRequest& request = (*requests_)[query_id];
+  AsyncPlatform platform(request.dataset,
+                         util::SplitSeed(judgment_seed_, query_id),
+                         scheduler_.get(), query_id);
+  telemetry::TraceRecorder recorder;
+  const bool tracing = !options_.trace_dir.empty();
+  if (tracing) platform.SetRecorder(&recorder);
+
+  const core::TopKResult result = request.algorithm->Run(&platform, request.k);
+  // Flush trailing purchases so the query never finishes with microtasks
+  // still queued at the crowd.
+  platform.Drain();
+
+  QueryOutcome& o = outcomes_[query_id];
+  o.items = result.items;
+  o.total_microtasks = platform.total_microtasks();
+  o.rounds_private = platform.rounds();
+  o.precision_at_k =
+      metrics::PrecisionAtK(*request.dataset, result.items, request.k);
+
+  if (tracing) {
+    // The serve counters are stable here: the clock is frozen while this
+    // driver runs, and a drained query has no assignments left in flight.
+    const QueryServeStats stats = scheduler_->QueryStats(query_id);
+    recorder.RecordCounter("serve/expired_assignments",
+                           static_cast<double>(stats.expired_assignments));
+    recorder.RecordCounter("serve/requeued_assignments",
+                           static_cast<double>(stats.requeued_assignments));
+    recorder.RecordCounter("serve/failed_assignments",
+                           static_cast<double>(stats.failed_assignments));
+    DumpQueryTrace(recorder, request, query_id);
+  }
+  scheduler_->FinishQuery(query_id);
+}
+
+void QueryService::DumpQueryTrace(const telemetry::TraceRecorder& recorder,
+                                  const QueryRequest& request,
+                                  int64_t query_id) const {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "serve_q%05lld_",
+                static_cast<long long>(query_id));
+  const std::string stem = options_.trace_dir + "/" + suffix +
+                           FileToken(request.algorithm->name());
+  const util::Status status =
+      telemetry::WriteJsonlFile(recorder.events(), stem + ".trace.jsonl");
+  if (!status.ok()) {
+    std::fprintf(stderr, "serve trace: %s\n", status.ToString().c_str());
+    return;
+  }
+  metrics::PhaseTable(metrics::AggregateByPhaseRollup(recorder.events()),
+                      request.algorithm->name())
+      .WriteCsv(stem + ".phases.csv");
+}
+
+}  // namespace crowdtopk::serve

@@ -1,0 +1,133 @@
+#include "serve/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace crowdtopk::serve {
+namespace {
+
+std::string Line(const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+double PercentileNearestRank(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  CROWDTOPK_CHECK(pct > 0.0 && pct <= 100.0);
+  std::sort(values.begin(), values.end());
+  const int64_t n = static_cast<int64_t>(values.size());
+  const int64_t rank = static_cast<int64_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(n)));
+  return values[std::max<int64_t>(rank, 1) - 1];
+}
+
+ServeReport BuildServeReport(const std::vector<QueryOutcome>& outcomes,
+                             const AssignmentStats& assignments,
+                             double makespan_seconds, int64_t total_rounds) {
+  ServeReport report;
+  report.queries = static_cast<int64_t>(outcomes.size());
+  report.makespan_seconds = makespan_seconds;
+  report.total_rounds = total_rounds;
+  report.assignments = assignments;
+
+  std::vector<double> rounds, seconds;
+  double queue_wait = 0.0, precision = 0.0;
+  for (const QueryOutcome& o : outcomes) {
+    if (o.rejected) {
+      ++report.rejected;
+      continue;
+    }
+    report.total_microtasks += o.total_microtasks;
+    queue_wait += o.start_seconds - o.arrival_seconds;
+    if (!o.status.ok()) {
+      ++report.failed;
+      continue;
+    }
+    ++report.completed;
+    precision += o.precision_at_k;
+    rounds.push_back(static_cast<double>(o.rounds_observed));
+    seconds.push_back(o.latency_seconds);
+  }
+  const int64_t ran = report.completed + report.failed;
+  if (ran > 0) {
+    report.mean_queue_wait_seconds = queue_wait / static_cast<double>(ran);
+  }
+  if (report.completed > 0) {
+    report.mean_precision =
+        precision / static_cast<double>(report.completed);
+  }
+  if (makespan_seconds > 0.0) {
+    report.throughput_per_hour = static_cast<double>(report.completed) /
+                                 (makespan_seconds / 3600.0);
+  }
+  report.p50_rounds = PercentileNearestRank(rounds, 50.0);
+  report.p95_rounds = PercentileNearestRank(rounds, 95.0);
+  report.p99_rounds = PercentileNearestRank(rounds, 99.0);
+  report.p50_seconds = PercentileNearestRank(seconds, 50.0);
+  report.p95_seconds = PercentileNearestRank(seconds, 95.0);
+  report.p99_seconds = PercentileNearestRank(seconds, 99.0);
+  return report;
+}
+
+std::string RenderServeReport(const ServeReport& r) {
+  std::string out;
+  out += Line("queries            %lld (completed %lld, failed %lld, "
+              "rejected %lld)\n",
+              static_cast<long long>(r.queries),
+              static_cast<long long>(r.completed),
+              static_cast<long long>(r.failed),
+              static_cast<long long>(r.rejected));
+  out += Line("makespan           %.3f s (%lld global rounds)\n",
+              r.makespan_seconds, static_cast<long long>(r.total_rounds));
+  out += Line("throughput         %.4f completed queries/h\n",
+              r.throughput_per_hour);
+  out += Line("latency rounds     p50 %.1f  p95 %.1f  p99 %.1f\n",
+              r.p50_rounds, r.p95_rounds, r.p99_rounds);
+  out += Line("latency seconds    p50 %.3f  p95 %.3f  p99 %.3f\n",
+              r.p50_seconds, r.p95_seconds, r.p99_seconds);
+  out += Line("queue wait         mean %.3f s\n", r.mean_queue_wait_seconds);
+  out += Line("microtasks         %lld purchased\n",
+              static_cast<long long>(r.total_microtasks));
+  out += Line("assignments        %lld scheduled, %lld completed, "
+              "%lld expired, %lld requeued, %lld failed\n",
+              static_cast<long long>(r.assignments.scheduled),
+              static_cast<long long>(r.assignments.completed),
+              static_cast<long long>(r.assignments.expired),
+              static_cast<long long>(r.assignments.requeued),
+              static_cast<long long>(r.assignments.failed));
+  out += Line("mean precision@k   %.4f (completed queries)\n",
+              r.mean_precision);
+  return out;
+}
+
+std::string RenderQueryTable(const std::vector<QueryOutcome>& outcomes) {
+  std::string out =
+      "query,algo,status,arrival_s,start_s,finish_s,latency_s,"
+      "rounds_observed,rounds_private,tmc,requeued,precision\n";
+  for (const QueryOutcome& o : outcomes) {
+    out += Line("%lld,%s,%s,%.3f,%.3f,%.3f,%.3f,%lld,%lld,%lld,%lld,%.4f\n",
+                static_cast<long long>(o.query_id), o.algorithm.c_str(),
+                o.rejected ? "REJECTED"
+                           : (o.status.ok() ? "OK" : "FAILED"),
+                o.arrival_seconds, o.start_seconds, o.finish_seconds,
+                o.latency_seconds,
+                static_cast<long long>(o.rounds_observed),
+                static_cast<long long>(o.rounds_private),
+                static_cast<long long>(o.total_microtasks),
+                static_cast<long long>(o.requeued_assignments),
+                o.precision_at_k);
+  }
+  return out;
+}
+
+}  // namespace crowdtopk::serve

@@ -4,15 +4,49 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 
 namespace crowdtopk::util {
+
+namespace {
+
+// Numeric env values must parse in full: "4x" silently becoming 4 hides
+// typos in knobs like CROWDTOPK_JOBS. Rejected values fall back to the
+// default and warn on stderr once per variable name per process, so a
+// bench looping over configurations does not flood its report.
+void WarnBadValueOnce(const std::string& name, const char* value,
+                      const char* kind) {
+  static std::mutex mutex;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!warned->insert(name).second) return;
+  std::fprintf(stderr,
+               "crowdtopk: ignoring %s='%s' (not a valid %s); "
+               "using the built-in default\n",
+               name.c_str(), value, kind);
+}
+
+// Returns true if everything from `end` to the end of the string is
+// whitespace, i.e. the numeric parse consumed the whole value.
+bool OnlyTrailingWhitespace(const char* end) {
+  for (; *end != '\0'; ++end) {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int64_t GetEnvInt64(const std::string& name, int64_t fallback) {
   const char* value = std::getenv(name.c_str());
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
   const long long parsed = std::strtoll(value, &end, 10);
-  if (end == value) return fallback;
+  if (end == value || !OnlyTrailingWhitespace(end)) {
+    WarnBadValueOnce(name, value, "integer");
+    return fallback;
+  }
   return static_cast<int64_t>(parsed);
 }
 
@@ -21,7 +55,10 @@ double GetEnvDouble(const std::string& name, double fallback) {
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(value, &end);
-  if (end == value) return fallback;
+  if (end == value || !OnlyTrailingWhitespace(end)) {
+    WarnBadValueOnce(name, value, "number");
+    return fallback;
+  }
   return parsed;
 }
 

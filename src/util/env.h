@@ -12,10 +12,15 @@
 
 namespace crowdtopk::util {
 
-// Reads an integer env var; returns `fallback` if unset or unparsable.
+// Reads an integer env var. Returns `fallback` if unset, empty, or not a
+// valid integer; a value with trailing garbage ("4x") is rejected as a
+// whole (trailing whitespace is fine) and warns once per variable name on
+// stderr, so typos in knobs like CROWDTOPK_JOBS=4x do not silently parse
+// as 4.
 int64_t GetEnvInt64(const std::string& name, int64_t fallback);
 
-// Reads a double env var; returns `fallback` if unset or unparsable.
+// Reads a double env var; same strict-parse + warn-once contract as
+// GetEnvInt64.
 double GetEnvDouble(const std::string& name, double fallback);
 
 // Reads a string env var; returns `fallback` if unset.

@@ -3,11 +3,13 @@
 #include <memory>
 #include <vector>
 
+#include "crowd/latency_model.h"
 #include "crowd/oracle.h"
 #include "crowd/platform.h"
 #include "crowd/simulator.h"
 #include "crowd/types.h"
 #include "gtest/gtest.h"
+#include "telemetry/recorder.h"
 #include "util/random.h"
 
 namespace crowdtopk::crowd {
@@ -212,6 +214,75 @@ TEST(SimulatorTest, PlatformIntegrationCountsEverything) {
   platform.CollectPreferences(3, 4, 3, &out);
   platform.AccountRounds(2);
   EXPECT_DOUBLE_EQ(simulator.now_seconds(), 60.0);  // one 10 s wave + empty
+}
+
+// A latency model that just counts callbacks, for accounting tests.
+class CountingModel : public LatencyModel {
+ public:
+  void OnPurchase(int64_t count) override { purchased_ += count; }
+  void OnRoundBoundary() override { ++boundaries_; }
+  int64_t purchased() const { return purchased_; }
+  int64_t boundaries() const { return boundaries_; }
+
+ private:
+  int64_t purchased_ = 0;
+  int64_t boundaries_ = 0;
+};
+
+TEST(PlatformAccountingTest, AccountRoundsEmitsOneBoundaryPerRound) {
+  FixedOracle oracle(4);
+  CountingModel model;
+  telemetry::TraceRecorder recorder;
+  CrowdPlatform platform(&oracle, 11);
+  platform.SetLatencyModel(&model);
+  platform.SetRecorder(&recorder);
+
+  platform.AccountRounds(5);
+  // Batched accounting must be indistinguishable from 5 NextRound calls to
+  // both observers: 5 boundary callbacks, 5 recorded rounds.
+  EXPECT_EQ(platform.rounds(), 5);
+  EXPECT_EQ(model.boundaries(), 5);
+  EXPECT_EQ(recorder.total_rounds(), 5);
+
+  platform.NextRound();
+  EXPECT_EQ(platform.rounds(), 6);
+  EXPECT_EQ(model.boundaries(), 6);
+  EXPECT_EQ(recorder.total_rounds(), 6);
+
+  // Zero rounds is a no-op for everyone.
+  platform.AccountRounds(0);
+  EXPECT_EQ(platform.rounds(), 6);
+  EXPECT_EQ(model.boundaries(), 6);
+  EXPECT_EQ(recorder.total_rounds(), 6);
+}
+
+TEST(PlatformAccountingTest, ResetCountersDoesNotDesyncRecorder) {
+  FixedOracle oracle(4);
+  telemetry::TraceRecorder recorder;
+  CrowdPlatform platform(&oracle, 11);
+  platform.SetRecorder(&recorder);
+
+  std::vector<double> out;
+  platform.CollectPreferences(0, 1, 7, &out);
+  platform.AccountRounds(3);
+  EXPECT_EQ(recorder.total_microtasks(), platform.total_microtasks());
+  EXPECT_EQ(recorder.total_rounds(), platform.rounds());
+
+  // ResetCounters only rewinds the platform's aggregates; the recorder is
+  // append-only and keeps the full history of the query so far.
+  platform.ResetCounters();
+  EXPECT_EQ(platform.total_microtasks(), 0);
+  EXPECT_EQ(platform.rounds(), 0);
+  EXPECT_EQ(recorder.total_microtasks(), 7);
+  EXPECT_EQ(recorder.total_rounds(), 3);
+
+  // To restart both in lockstep, clear the recorder alongside the reset;
+  // from then on the two stay equal again.
+  recorder.Clear();
+  platform.CollectPreferences(2, 3, 4, &out);
+  platform.NextRound();
+  EXPECT_EQ(recorder.total_microtasks(), platform.total_microtasks());
+  EXPECT_EQ(recorder.total_rounds(), platform.rounds());
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// Tests for the multi-query serving layer (src/serve): sync-algorithm
+// equivalence through the AsyncPlatform bridge, scheduler fairness under
+// saturation, straggler requeueing and bounded-retry failure, admission
+// overflow, and bit-identity of the serve report across worker counts.
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/heap_sort.h"
+#include "baselines/quick_select.h"
+#include "core/topk_algorithm.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "judgment/comparison.h"
+#include "serve/arrival.h"
+#include "serve/async_platform.h"
+#include "serve/batch_scheduler.h"
+#include "serve/query_service.h"
+#include "serve/report.h"
+#include "util/status.h"
+
+namespace crowdtopk::serve {
+namespace {
+
+// A deterministic workload with a known shape: `rounds` batch rounds, each
+// buying `per_round` preference microtasks on one pair, cycling through the
+// dataset's pairs so the per-pair cap stays exercised. Stateless across
+// Run() calls (concurrent_runs_safe).
+class ScriptedAlgorithm : public core::TopKAlgorithm {
+ public:
+  ScriptedAlgorithm(int64_t rounds, int64_t per_round)
+      : rounds_(rounds), per_round_(per_round) {}
+
+  std::string name() const override { return "Scripted"; }
+
+  core::TopKResult Run(crowd::CrowdPlatform* platform, int64_t k) override {
+    std::vector<double> out;
+    for (int64_t r = 0; r < rounds_; ++r) {
+      platform->CollectPreferences(r % 3, r % 3 + 1, per_round_, &out);
+      platform->NextRound();
+    }
+    core::TopKResult result;
+    for (int64_t i = 0; i < k; ++i) result.items.push_back(i);
+    result.total_microtasks = platform->total_microtasks();
+    result.rounds = platform->rounds();
+    return result;
+  }
+
+ private:
+  int64_t rounds_;
+  int64_t per_round_;
+};
+
+// Runs the minimal service loop for a standalone scheduler until `queries`
+// driver threads have finished.
+void PumpScheduler(BatchScheduler* scheduler, int64_t queries) {
+  int64_t done = 0;
+  while (done < queries) {
+    scheduler->WaitQuiescent();
+    done += static_cast<int64_t>(scheduler->DrainFinished().size());
+    if (done < queries && scheduler->AnyParked()) scheduler->ExecuteRound();
+  }
+}
+
+ScheduleOptions ReliableCrowd() {
+  ScheduleOptions options;
+  options.abandon_probability = 0.0;  // no stragglers unless a test asks
+  return options;
+}
+
+// The core serving invariant: a query served through AsyncPlatform buys the
+// exact answer, TMC, and private round count it would buy on a private
+// CrowdPlatform with the same seed — sharing the crowd never changes what
+// a query pays, only when its work gets scheduled.
+TEST(AsyncPlatformTest, ServedQueryMatchesPrivateRun) {
+  const auto dataset = data::MakeUniformLadder(20, 1.0, 0.6);
+  judgment::ComparisonOptions comparison;
+  baselines::HeapSortTopK algorithm(comparison);
+
+  crowd::CrowdPlatform direct(dataset.get(), /*seed=*/123);
+  const core::TopKResult expected = algorithm.Run(&direct, 5);
+
+  BatchScheduler scheduler(ReliableCrowd(), /*seed=*/999, nullptr);
+  scheduler.AdmitQuery(0);
+  core::TopKResult served;
+  int64_t served_microtasks = 0;
+  int64_t served_rounds = 0;
+  std::thread driver([&] {
+    AsyncPlatform platform(dataset.get(), /*seed=*/123, &scheduler, 0);
+    served = algorithm.Run(&platform, 5);
+    platform.Drain();
+    served_microtasks = platform.total_microtasks();
+    served_rounds = platform.rounds();
+    scheduler.FinishQuery(0);
+  });
+  PumpScheduler(&scheduler, 1);
+  driver.join();
+
+  EXPECT_EQ(served.items, expected.items);
+  EXPECT_EQ(served_microtasks, direct.total_microtasks());
+  EXPECT_EQ(served_rounds, direct.rounds());
+}
+
+// Round-robin wave selection must not starve anyone: four identical
+// saturating queries (combined demand = 2x the crowd's W slots) have to
+// finish within a couple of global rounds of each other.
+TEST(SchedulerTest, FairnessUnderSaturation) {
+  const auto dataset = data::MakeUniformLadder(8, 1.0, 0.5);
+  ScriptedAlgorithm algorithm(/*rounds=*/6, /*per_round=*/10);
+
+  ServeOptions options;
+  options.schedule = ReliableCrowd();
+  options.schedule.crowd_workers = 20;   // demand: 4 queries x 10 = 40
+  options.schedule.per_pair_batch = 10;
+  options.max_inflight = 4;
+  options.jobs = 1;
+
+  std::vector<QueryRequest> requests(4);
+  for (QueryRequest& request : requests) {
+    request.algorithm = &algorithm;
+    request.dataset = dataset.get();
+    request.k = 3;
+  }
+  QueryService service(options);
+  const std::vector<QueryOutcome> outcomes =
+      service.Replay(requests, std::vector<double>(4, 0.0));
+
+  int64_t min_rounds = outcomes[0].rounds_observed;
+  int64_t max_rounds = outcomes[0].rounds_observed;
+  for (const QueryOutcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    min_rounds = std::min(min_rounds, outcome.rounds_observed);
+    max_rounds = std::max(max_rounds, outcome.rounds_observed);
+  }
+  // Everyone needed >= 2 global rounds per script round (demand 2x W), and
+  // the round-robin keeps the finish spread within one extra round.
+  EXPECT_GE(min_rounds, 12);
+  EXPECT_LE(max_rounds - min_rounds, 1);
+}
+
+// Stragglers: with a high abandonment rate, assignments must observably
+// expire and be requeued, yet every query still completes successfully as
+// long as retries remain.
+TEST(SchedulerTest, ExpiredAssignmentsAreRequeued) {
+  const auto dataset = data::MakeUniformLadder(8, 1.0, 0.5);
+  ScriptedAlgorithm algorithm(/*rounds=*/4, /*per_round=*/15);
+
+  ServeOptions options;
+  options.schedule.abandon_probability = 0.5;
+  options.schedule.max_attempts = 16;
+  options.jobs = 1;
+
+  std::vector<QueryRequest> requests(2);
+  for (QueryRequest& request : requests) {
+    request.algorithm = &algorithm;
+    request.dataset = dataset.get();
+    request.k = 3;
+  }
+  QueryService service(options);
+  const std::vector<QueryOutcome> outcomes =
+      service.Replay(requests, {0.0, 0.0});
+
+  for (const QueryOutcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+  const AssignmentStats stats = service.assignment_stats();
+  EXPECT_GT(stats.expired, 0);
+  EXPECT_GT(stats.requeued, 0);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.completed, outcomes[0].total_microtasks +
+                                 outcomes[1].total_microtasks);
+  // The per-query telemetry sees the same retries.
+  EXPECT_GT(outcomes[0].requeued_assignments + outcomes[1].requeued_assignments,
+            0);
+}
+
+// Bounded retries: when every attempt is abandoned, each assignment fails
+// after max_attempts and the query is reported kResourceExhausted — but the
+// replay still terminates and returns an outcome (no deadlock on the
+// barrier).
+TEST(SchedulerTest, BoundedRetriesFailTheQuery) {
+  const auto dataset = data::MakeUniformLadder(8, 1.0, 0.5);
+  ScriptedAlgorithm algorithm(/*rounds=*/2, /*per_round=*/5);
+
+  ServeOptions options;
+  options.schedule.abandon_probability = 1.0;
+  options.schedule.max_attempts = 2;
+  options.jobs = 1;
+
+  std::vector<QueryRequest> requests(1);
+  requests[0].algorithm = &algorithm;
+  requests[0].dataset = dataset.get();
+  requests[0].k = 3;
+  QueryService service(options);
+  const std::vector<QueryOutcome> outcomes = service.Replay(requests, {0.0});
+
+  EXPECT_FALSE(outcomes[0].rejected);
+  EXPECT_EQ(outcomes[0].status.code(), util::StatusCode::kResourceExhausted);
+  const AssignmentStats stats = service.assignment_stats();
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.failed, 10);              // 2 rounds x 5 microtasks
+  EXPECT_EQ(stats.scheduled, 2 * stats.failed);  // max_attempts each
+}
+
+// A bounded admission queue rejects arrivals that find both the in-flight
+// window and the queue full.
+TEST(QueryServiceTest, AdmissionQueueOverflowRejects) {
+  const auto dataset = data::MakeUniformLadder(8, 1.0, 0.5);
+  ScriptedAlgorithm algorithm(/*rounds=*/4, /*per_round=*/5);
+
+  ServeOptions options;
+  options.schedule = ReliableCrowd();
+  options.max_inflight = 1;
+  options.max_queue = 0;
+  options.jobs = 1;
+
+  std::vector<QueryRequest> requests(2);
+  for (QueryRequest& request : requests) {
+    request.algorithm = &algorithm;
+    request.dataset = dataset.get();
+    request.k = 3;
+  }
+  // Query 1 arrives while query 0 is still in flight (rounds take ~15 s
+  // each) and there is no queue to wait in.
+  QueryService service(options);
+  const std::vector<QueryOutcome> outcomes =
+      service.Replay(requests, {0.0, 10.0});
+
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_TRUE(outcomes[1].rejected);
+  EXPECT_EQ(outcomes[1].status.code(), util::StatusCode::kResourceExhausted);
+}
+
+// The determinism contract of the whole layer: same options + seed + trace
+// => bit-identical rendered report and per-query table for any worker
+// count, stragglers included.
+TEST(QueryServiceTest, ReportBitIdenticalAcrossJobs) {
+  const auto dataset = data::MakeUniformLadder(16, 1.0, 0.8);
+  judgment::ComparisonOptions comparison;
+  baselines::HeapSortTopK heap(comparison);
+  baselines::QuickSelectTopK quick(comparison);
+  core::TopKAlgorithm* algorithms[] = {&heap, &quick};
+
+  const std::vector<double> arrivals = PoissonArrivals(10, 0.01, 77);
+  std::vector<QueryRequest> requests(10);
+  for (int64_t q = 0; q < 10; ++q) {
+    requests[q].algorithm = algorithms[q % 2];
+    requests[q].dataset = dataset.get();
+    requests[q].k = 4;
+  }
+
+  std::string rendered[2];
+  std::string tables[2];
+  const int64_t jobs[] = {1, 8};
+  for (int v = 0; v < 2; ++v) {
+    ServeOptions options;
+    options.schedule.abandon_probability = 0.1;  // exercise requeues too
+    options.max_inflight = 4;
+    options.jobs = jobs[v];
+    options.seed = 77;
+    QueryService service(options);
+    const std::vector<QueryOutcome> outcomes =
+        service.Replay(requests, arrivals);
+    rendered[v] = RenderServeReport(
+        BuildServeReport(outcomes, service.assignment_stats(),
+                         service.makespan_seconds(), service.total_rounds()));
+    tables[v] = RenderQueryTable(outcomes);
+  }
+  EXPECT_EQ(rendered[0], rendered[1]);
+  EXPECT_EQ(tables[0], tables[1]);
+}
+
+// Nearest-rank percentile sanity.
+TEST(ReportTest, PercentileNearestRank) {
+  const std::vector<double> values = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(values, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(values, 95.0), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(values, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank({}, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace crowdtopk::serve

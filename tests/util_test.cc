@@ -240,6 +240,31 @@ TEST(EnvTest, DoubleFallbackAndParse) {
   ::unsetenv("CROWDTOPK_TEST_DBL");
 }
 
+TEST(EnvTest, IntRejectsTrailingGarbage) {
+  // "4x" must not silently parse as 4 (a typo'd CROWDTOPK_JOBS=4x would
+  // otherwise change thread counts without anyone noticing).
+  ::setenv("CROWDTOPK_TEST_INT_GARBAGE", "4x", 1);
+  EXPECT_EQ(GetEnvInt64("CROWDTOPK_TEST_INT_GARBAGE", 7), 7);
+  ::setenv("CROWDTOPK_TEST_INT_GARBAGE", "12 cores", 1);
+  EXPECT_EQ(GetEnvInt64("CROWDTOPK_TEST_INT_GARBAGE", 7), 7);
+  // Trailing whitespace is not garbage.
+  ::setenv("CROWDTOPK_TEST_INT_GARBAGE", "42 ", 1);
+  EXPECT_EQ(GetEnvInt64("CROWDTOPK_TEST_INT_GARBAGE", 7), 42);
+  ::setenv("CROWDTOPK_TEST_INT_GARBAGE", "-3", 1);
+  EXPECT_EQ(GetEnvInt64("CROWDTOPK_TEST_INT_GARBAGE", 7), -3);
+  ::unsetenv("CROWDTOPK_TEST_INT_GARBAGE");
+}
+
+TEST(EnvTest, DoubleRejectsTrailingGarbage) {
+  ::setenv("CROWDTOPK_TEST_DBL_GARBAGE", "0.25s", 1);
+  EXPECT_EQ(GetEnvDouble("CROWDTOPK_TEST_DBL_GARBAGE", 1.5), 1.5);
+  ::setenv("CROWDTOPK_TEST_DBL_GARBAGE", "junk", 1);
+  EXPECT_EQ(GetEnvDouble("CROWDTOPK_TEST_DBL_GARBAGE", 1.5), 1.5);
+  ::setenv("CROWDTOPK_TEST_DBL_GARBAGE", "1e-3\t", 1);
+  EXPECT_EQ(GetEnvDouble("CROWDTOPK_TEST_DBL_GARBAGE", 1.5), 1e-3);
+  ::unsetenv("CROWDTOPK_TEST_DBL_GARBAGE");
+}
+
 TEST(EnvTest, StringFallback) {
   ::unsetenv("CROWDTOPK_TEST_STR");
   EXPECT_EQ(GetEnvString("CROWDTOPK_TEST_STR", "imdb"), "imdb");

@@ -1,0 +1,158 @@
+// crowdtopk_serve: replay a seeded open-loop Poisson trace of concurrent
+// top-k queries against the shared-capacity serving layer (src/serve) and
+// report throughput plus p50/p95/p99 query latency in batch rounds and
+// simulated seconds.
+//
+// Argument-free like the benches; all knobs are environment variables:
+//   CROWDTOPK_SERVE_QUERIES   queries in the trace            (default 60)
+//   CROWDTOPK_SERVE_RATE      Poisson arrival rate lambda /s  (default 0.01)
+//   CROWDTOPK_SERVE_DATASET   imdb|book|jester|photo|peopleage (peopleage)
+//   CROWDTOPK_SERVE_K         top-k                           (default 10)
+//   CROWDTOPK_SERVE_ALPHA     significance level              (default 0.02)
+//   CROWDTOPK_SERVE_ALGOS     comma list: spr,tourtree,heapsort,quickselect
+//                             — query q runs algos[q mod len] (default all 4)
+//   CROWDTOPK_SERVE_WORKERS   crowd worker slots W per round  (default 100)
+//   CROWDTOPK_SERVE_ETA       per-pair batch cap eta          (default 30)
+//   CROWDTOPK_SERVE_INFLIGHT  max concurrently served queries (default 16)
+//   CROWDTOPK_SERVE_QUEUE     admission queue bound, <0 = unbounded (-1)
+//   CROWDTOPK_SERVE_DEADLINE  assignment deadline seconds     (default 60)
+//   CROWDTOPK_SERVE_ABANDON   worker abandonment probability  (default 0.03)
+//   CROWDTOPK_SERVE_ATTEMPTS  dispatch attempts per microtask (default 4)
+//   CROWDTOPK_SERVE_PER_QUERY =1 prints the per-query CSV table
+//   CROWDTOPK_SEED, CROWDTOPK_JOBS, CROWDTOPK_TRACE, CROWDTOPK_TRACE_DIR
+//     as everywhere else (docs/OBSERVABILITY.md). The report is
+//     bit-identical for every CROWDTOPK_JOBS value.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/heap_sort.h"
+#include "baselines/quick_select.h"
+#include "baselines/tournament_tree.h"
+#include "core/spr.h"
+#include "data/generators.h"
+#include "serve/arrival.h"
+#include "serve/query_service.h"
+#include "serve/report.h"
+#include "util/check.h"
+#include "util/env.h"
+
+namespace {
+
+using namespace crowdtopk;
+
+std::vector<std::string> SplitCsv(const std::string& list) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : list) {
+    if (c == ',') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else if (c != ' ') {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+std::unique_ptr<core::TopKAlgorithm> MakeAlgorithm(
+    const std::string& name, const judgment::ComparisonOptions& options) {
+  if (name == "spr") {
+    core::SprOptions spr_options;
+    spr_options.comparison = options;
+    return std::make_unique<core::Spr>(spr_options);
+  }
+  if (name == "tourtree") {
+    return std::make_unique<baselines::TournamentTree>(options);
+  }
+  if (name == "heapsort") {
+    return std::make_unique<baselines::HeapSortTopK>(options);
+  }
+  if (name == "quickselect") {
+    return std::make_unique<baselines::QuickSelectTopK>(options);
+  }
+  CROWDTOPK_CHECK(false && "unknown CROWDTOPK_SERVE_ALGOS entry");
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t queries = util::GetEnvInt64("CROWDTOPK_SERVE_QUERIES", 60);
+  const double rate = util::GetEnvDouble("CROWDTOPK_SERVE_RATE", 0.01);
+  const std::string dataset_name =
+      util::GetEnvString("CROWDTOPK_SERVE_DATASET", "peopleage");
+  const int64_t k = util::GetEnvInt64("CROWDTOPK_SERVE_K", 10);
+  const std::string algo_list = util::GetEnvString(
+      "CROWDTOPK_SERVE_ALGOS", "spr,tourtree,heapsort,quickselect");
+  const uint64_t seed = util::BenchSeed();
+
+  serve::ServeOptions options;
+  options.schedule.crowd_workers =
+      util::GetEnvInt64("CROWDTOPK_SERVE_WORKERS", 100);
+  options.schedule.per_pair_batch = util::GetEnvInt64("CROWDTOPK_SERVE_ETA", 30);
+  options.schedule.deadline_seconds =
+      util::GetEnvDouble("CROWDTOPK_SERVE_DEADLINE", 60.0);
+  options.schedule.abandon_probability =
+      util::GetEnvDouble("CROWDTOPK_SERVE_ABANDON", 0.03);
+  options.schedule.max_attempts =
+      util::GetEnvInt64("CROWDTOPK_SERVE_ATTEMPTS", 4);
+  options.max_inflight = util::GetEnvInt64("CROWDTOPK_SERVE_INFLIGHT", 16);
+  options.max_queue = util::GetEnvInt64("CROWDTOPK_SERVE_QUEUE", -1);
+  options.jobs = util::BenchJobs();
+  options.seed = seed;
+  if (util::TraceEnabled()) options.trace_dir = util::TraceDir();
+
+  judgment::ComparisonOptions comparison;
+  comparison.alpha = util::GetEnvDouble("CROWDTOPK_SERVE_ALPHA", 0.02);
+
+  const std::unique_ptr<data::Dataset> dataset =
+      data::MakeByName(dataset_name, seed);
+  std::vector<std::unique_ptr<core::TopKAlgorithm>> algorithms;
+  for (const std::string& name : SplitCsv(algo_list)) {
+    algorithms.push_back(MakeAlgorithm(name, comparison));
+  }
+  CROWDTOPK_CHECK(!algorithms.empty());
+
+  std::vector<serve::QueryRequest> requests(queries);
+  for (int64_t q = 0; q < queries; ++q) {
+    requests[q].algorithm = algorithms[q % algorithms.size()].get();
+    requests[q].dataset = dataset.get();
+    requests[q].k = k;
+  }
+  const std::vector<double> arrivals =
+      serve::PoissonArrivals(queries, rate, seed);
+
+  std::printf(
+      "crowdtopk_serve: %lld queries (%s, k=%lld) on %s, lambda=%.4f/s\n",
+      static_cast<long long>(queries), algo_list.c_str(),
+      static_cast<long long>(k), dataset_name.c_str(), rate);
+  std::printf(
+      "crowd: W=%lld workers/round, eta=%lld, deadline=%.1fs, "
+      "abandon=%.3f, attempts=%lld | admission: inflight<=%lld, queue=%lld\n",
+      static_cast<long long>(options.schedule.crowd_workers),
+      static_cast<long long>(options.schedule.per_pair_batch),
+      options.schedule.deadline_seconds,
+      options.schedule.abandon_probability,
+      static_cast<long long>(options.schedule.max_attempts),
+      static_cast<long long>(options.max_inflight),
+      static_cast<long long>(options.max_queue));
+  std::printf("seed=%llu (report is bit-identical for any CROWDTOPK_JOBS)\n\n",
+              static_cast<unsigned long long>(seed));
+
+  serve::QueryService service(options);
+  const std::vector<serve::QueryOutcome> outcomes =
+      service.Replay(requests, arrivals);
+  const serve::ServeReport report = serve::BuildServeReport(
+      outcomes, service.assignment_stats(), service.makespan_seconds(),
+      service.total_rounds());
+
+  if (util::GetEnvBool("CROWDTOPK_SERVE_PER_QUERY", false)) {
+    std::printf("%s\n", serve::RenderQueryTable(outcomes).c_str());
+  }
+  std::printf("%s", serve::RenderServeReport(report).c_str());
+  return 0;
+}
