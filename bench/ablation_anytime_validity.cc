@@ -16,13 +16,14 @@
 
 #include "bench/harness.h"
 #include "data/gaussian_dataset.h"
+#include "stats/binomial.h"
 
 namespace {
 
 using namespace crowdtopk;
 
-double FalseDecisionRate(judgment::Estimator estimator, double alpha,
-                         int64_t horizon, int64_t trials, uint64_t seed) {
+int64_t CountFalseDecisions(judgment::Estimator estimator, double alpha,
+                            int64_t horizon, int64_t trials, uint64_t seed) {
   // Two items with identical scores: any decision is false.
   data::GaussianDataset tied("tied", {1.0, 1.0}, 2.0, 10.0);
   judgment::ComparisonOptions options;
@@ -41,7 +42,7 @@ double FalseDecisionRate(judgment::Estimator estimator, double alpha,
       ++false_decisions;
     }
   }
-  return static_cast<double>(false_decisions) / static_cast<double>(trials);
+  return false_decisions;
 }
 
 double MeanWorkload(judgment::Estimator estimator, double alpha,
@@ -79,7 +80,7 @@ int main() {
 
   util::TablePrinter table("fixed-n t-interval vs confidence sequence");
   table.SetHeader({"Estimator", "false-decision rate (tied)",
-                   "mean workload (decidable)"});
+                   "95% Wilson band", "mean workload (decidable)"});
   struct Row {
     const char* name;
     judgment::Estimator estimator;
@@ -87,10 +88,21 @@ int main() {
   for (const Row& row :
        {Row{"Student (Alg. 1)", judgment::Estimator::kStudent},
         Row{"Anytime (LIL)", judgment::Estimator::kAnytime}}) {
+    const int64_t false_decisions =
+        CountFalseDecisions(row.estimator, alpha, horizon, runs, seed + 1);
     const double error =
-        FalseDecisionRate(row.estimator, alpha, horizon, runs, seed + 1);
+        static_cast<double>(false_decisions) / static_cast<double>(runs);
+    // The shared interval helper (stats/binomial.h), not ad-hoc normal
+    // approximation: the same band src/verify judges contracts with.
+    const stats::ProportionInterval band =
+        stats::WilsonScoreInterval(false_decisions, runs, 0.05);
     const double workload = MeanWorkload(row.estimator, alpha, seed + 2);
-    table.AddRow({row.name, util::FormatDouble(error, 3),
+    std::string band_text = "[";
+    band_text += util::FormatDouble(band.lo, 3);
+    band_text += ", ";
+    band_text += util::FormatDouble(band.hi, 3);
+    band_text += "]";
+    table.AddRow({row.name, util::FormatDouble(error, 3), band_text,
                   util::FormatDouble(workload, 1)});
   }
   table.Print();

@@ -2,11 +2,16 @@
 // robustness of the confidence-aware pipeline to worker heterogeneity.
 // A WorkerPoolOracle distorts every judgment with per-worker scale/bias/
 // noise and a configurable spammer fraction; SPR runs unchanged on top.
+// A second block of scenarios swaps in the fault-injection layer
+// (src/fault), whose models WorkerPoolOracle lacks: adversarial sign
+// flips, lazy near-neutral answers, and frozen duplicate submissions.
 //
 // Expected: per-worker *scale* variation is nearly free (the sign of the
 // preference is preserved, variance grows mildly); unbiased noise costs
 // extra microtasks but not accuracy; spammers inflate both cost and, past a
-// threshold, errors.
+// threshold, errors. Adversaries are the cheapest fault to buy and the most
+// expensive to survive: a small flipped minority mostly costs microtasks, a
+// large one corrupts the answer outright.
 
 #include <cstdio>
 #include <string>
@@ -14,6 +19,7 @@
 
 #include "bench/harness.h"
 #include "crowd/workers.h"
+#include "fault/injector.h"
 
 int main() {
   using namespace crowdtopk;
@@ -95,5 +101,62 @@ int main() {
                   util::FormatDouble(averages.precision, 3)});
   }
   table.Print();
+
+  // Fault-model scenarios (src/fault): same SPR, same scoring, degraded
+  // crowds the WorkerPoolOracle cannot express.
+  struct FaultScenario {
+    const char* name;
+    fault::FaultPlan plan;
+  };
+  std::vector<FaultScenario> fault_scenarios;
+  {
+    FaultScenario s{"10% adversaries", {}};
+    s.plan.adversary_fraction = 0.10;
+    fault_scenarios.push_back(s);
+  }
+  {
+    FaultScenario s{"25% lazy", {}};
+    s.plan.lazy_fraction = 0.25;
+    fault_scenarios.push_back(s);
+  }
+  {
+    FaultScenario s{"25% duplicates", {}};
+    s.plan.duplicate_fraction = 0.25;
+    fault_scenarios.push_back(s);
+  }
+  {
+    FaultScenario s{"mixed faults", {}};
+    s.plan.spammer_fraction = 0.10;
+    s.plan.adversary_fraction = 0.05;
+    s.plan.lazy_fraction = 0.10;
+    s.plan.duplicate_fraction = 0.10;
+    fault_scenarios.push_back(s);
+  }
+
+  util::TablePrinter fault_table("SPR under injected faults (src/fault)");
+  fault_table.SetHeader({"Faults", "TMC", "NDCG", "Precision"});
+  for (size_t index = 0; index < fault_scenarios.size(); ++index) {
+    const FaultScenario& scenario = fault_scenarios[index];
+    core::SprOptions spr_options;
+    spr_options.comparison = bench::DefaultComparisonOptions();
+    core::Spr spr(spr_options);
+    // Immutable after construction, so parallel runs share the injector.
+    const fault::FaultInjectionOracle faulty(imdb.get(), scenario.plan,
+                                             seed + 100 + index);
+    const std::vector<double> mean = bench::AverageOver(
+        runs, seed + 1,
+        [&](int64_t, uint64_t run_seed) -> std::vector<double> {
+          crowd::CrowdPlatform platform(&faulty, run_seed);
+          const core::TopKResult result = spr.Run(&platform, bench::DefaultK());
+          return {static_cast<double>(result.total_microtasks),
+                  metrics::Ndcg(*imdb, result.items, bench::DefaultK()),
+                  metrics::PrecisionAtK(*imdb, result.items,
+                                        bench::DefaultK())};
+        });
+    fault_table.AddRow({scenario.name, util::FormatDouble(mean[0], 0),
+                        util::FormatDouble(mean[1], 3),
+                        util::FormatDouble(mean[2], 3)});
+  }
+  fault_table.Print();
   return 0;
 }

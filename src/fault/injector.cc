@@ -1,0 +1,122 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace crowdtopk::fault {
+namespace {
+
+// Salts separating the injector's derived streams from each other and from
+// anything else hashed off the same master seed.
+constexpr uint64_t kProfileStream = 0x6661756c740001ULL;  // "fault" 1
+constexpr uint64_t kCoinStream = 0x6661756c740002ULL;     // "fault" 2
+constexpr uint64_t kStaleStream = 0x6661756c740003ULL;    // "fault" 3
+
+void CheckFraction(double fraction, const char* what) {
+  CROWDTOPK_CHECK(fraction >= 0.0 && fraction <= 1.0 && what != nullptr);
+}
+
+}  // namespace
+
+bool AnyValueFaults(const FaultPlan& plan) {
+  return plan.spammer_fraction > 0.0 || plan.adversary_fraction > 0.0 ||
+         plan.lazy_fraction > 0.0 || plan.duplicate_fraction > 0.0;
+}
+
+double NoShowProbability(const FaultPlan& plan) {
+  CheckFraction(plan.no_show_fraction, "no_show_fraction");
+  return plan.no_show_fraction;
+}
+
+std::vector<WorkerFaultProfile> MakeWorkerProfiles(const FaultPlan& plan,
+                                                   uint64_t seed) {
+  CROWDTOPK_CHECK_GE(plan.num_workers, 1);
+  CheckFraction(plan.spammer_fraction, "spammer_fraction");
+  CheckFraction(plan.adversary_fraction, "adversary_fraction");
+  CheckFraction(plan.lazy_fraction, "lazy_fraction");
+  CheckFraction(plan.duplicate_fraction, "duplicate_fraction");
+  const util::Rng root(util::SplitSeed(seed, kProfileStream));
+  std::vector<WorkerFaultProfile> workers(plan.num_workers);
+  for (int64_t w = 0; w < plan.num_workers; ++w) {
+    util::Rng rng = root.Split(static_cast<uint64_t>(w));
+    workers[w].spammer = rng.Bernoulli(plan.spammer_fraction);
+    workers[w].adversary = rng.Bernoulli(plan.adversary_fraction);
+    workers[w].lazy = rng.Bernoulli(plan.lazy_fraction);
+    workers[w].duplicate = rng.Bernoulli(plan.duplicate_fraction);
+  }
+  return workers;
+}
+
+FaultInjectionOracle::FaultInjectionOracle(const crowd::JudgmentOracle* base,
+                                           const FaultPlan& plan,
+                                           uint64_t seed)
+    : FaultInjectionOracle(base, MakeWorkerProfiles(plan, seed), seed,
+                           plan.lazy_jitter) {}
+
+FaultInjectionOracle::FaultInjectionOracle(
+    const crowd::JudgmentOracle* base, std::vector<WorkerFaultProfile> workers,
+    uint64_t seed, double lazy_jitter)
+    : base_(base),
+      workers_(std::move(workers)),
+      lazy_jitter_(lazy_jitter),
+      fault_seed_(util::SplitSeed(seed, kCoinStream)),
+      stale_seed_(util::SplitSeed(seed, kStaleStream)) {
+  CROWDTOPK_CHECK(base != nullptr);
+  CROWDTOPK_CHECK(!workers_.empty());
+  CROWDTOPK_CHECK(lazy_jitter_ >= 0.0 && lazy_jitter_ <= 1.0);
+  active_ = false;
+  for (const WorkerFaultProfile& worker : workers_) {
+    if (worker.any()) active_ = true;
+  }
+}
+
+double FaultInjectionOracle::PreferenceJudgment(crowd::ItemId i,
+                                                crowd::ItemId j,
+                                                util::Rng* rng) const {
+  if (!active_) return base_->PreferenceJudgment(i, j, rng);
+  // One draw from the platform stream funds the worker choice and every
+  // fault coin through a derived stream, so the injector consumes exactly
+  // one platform draw per judgment no matter which faults fire.
+  util::Rng fault_rng(util::SplitSeed(fault_seed_, rng->NextUint64()));
+  const WorkerFaultProfile& worker =
+      workers_[fault_rng.UniformInt(num_workers())];
+  double v = worker.duplicate ? StalePreference(i, j)
+                              : base_->PreferenceJudgment(i, j, rng);
+  if (worker.spammer) v = fault_rng.Uniform(-1.0, 1.0);
+  if (worker.adversary) v = -v;
+  if (worker.lazy) v = lazy_jitter_ * fault_rng.Uniform(-1.0, 1.0);
+  return std::clamp(v, -1.0, 1.0);
+}
+
+double FaultInjectionOracle::GradedJudgment(crowd::ItemId i,
+                                            util::Rng* rng) const {
+  if (!active_) return base_->GradedJudgment(i, rng);
+  util::Rng fault_rng(util::SplitSeed(fault_seed_, rng->NextUint64()));
+  const WorkerFaultProfile& worker =
+      workers_[fault_rng.UniformInt(num_workers())];
+  double g =
+      worker.duplicate ? StaleGrade(i) : base_->GradedJudgment(i, rng);
+  if (worker.spammer) g = fault_rng.Uniform();
+  if (worker.adversary) g = 1.0 - g;
+  if (worker.lazy) {
+    g = 0.5 + 0.5 * lazy_jitter_ * fault_rng.Uniform(-1.0, 1.0);
+  }
+  return std::clamp(g, 0.0, 1.0);
+}
+
+double FaultInjectionOracle::StalePreference(crowd::ItemId i,
+                                             crowd::ItemId j) const {
+  uint64_t seed = util::SplitSeed(stale_seed_, static_cast<uint64_t>(i));
+  seed = util::SplitSeed(seed, static_cast<uint64_t>(j));
+  util::Rng stale(seed);
+  return base_->PreferenceJudgment(i, j, &stale);
+}
+
+double FaultInjectionOracle::StaleGrade(crowd::ItemId i) const {
+  util::Rng stale(util::SplitSeed(stale_seed_, static_cast<uint64_t>(i)));
+  return base_->GradedJudgment(i, &stale);
+}
+
+}  // namespace crowdtopk::fault

@@ -30,6 +30,8 @@ BatchScheduler::BatchScheduler(const ScheduleOptions& options, uint64_t seed,
   CROWDTOPK_CHECK(options.mean_pickup_seconds >= 0.0);
   CROWDTOPK_CHECK(options.abandon_probability >= 0.0 &&
                   options.abandon_probability <= 1.0);
+  CROWDTOPK_CHECK(options.no_show_probability >= 0.0 &&
+                  options.no_show_probability <= 1.0);
   CROWDTOPK_CHECK(options.deadline_seconds > 0.0);
   // Lognormal with mean m and sigma s has mu = ln(m) - s^2/2.
   lognormal_mu_ = std::log(options.mean_task_seconds) -
@@ -160,11 +162,17 @@ BatchScheduler::AttemptOutcome BatchScheduler::SimulateAttempt(
     work = std::exp(rng.Gaussian(lognormal_mu_, options_.task_time_sigma));
   }
   const bool abandoned = rng.Bernoulli(options_.abandon_probability);
+  // Drawn after the honest-path coins so a zero rate leaves every existing
+  // (seed, assignment) outcome untouched.
+  const bool no_show = options_.no_show_probability > 0.0 &&
+                       rng.Bernoulli(options_.no_show_probability);
 
   AttemptOutcome outcome;
   outcome.latency_seconds = pickup + work;
-  outcome.expired =
-      abandoned || outcome.latency_seconds > options_.deadline_seconds;
+  outcome.expired = abandoned || no_show ||
+                    outcome.latency_seconds > options_.deadline_seconds;
+  // A no-show never returns: the round waits out the full deadline for it.
+  if (no_show) outcome.latency_seconds = options_.deadline_seconds;
   return outcome;
 }
 

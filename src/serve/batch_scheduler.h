@@ -56,6 +56,12 @@ struct ScheduleOptions {
   double task_time_sigma = 0.35;
   // Probability a worker silently abandons an assignment.
   double abandon_probability = 0.03;
+  // Probability an assignment lands on a no-show worker (fault-injection
+  // layer, src/fault: fault::NoShowProbability): the worker accepts but
+  // never submits, so the assignment always expires at the round deadline.
+  // Distinct from abandonment, which still draws pickup/work latency and
+  // may beat the deadline.
+  double no_show_probability = 0.0;
   // Assignment deadline within a round: an assignment whose worker has not
   // submitted by then is declared expired and requeued. Also the round's
   // duration whenever at least one assignment expired (the barrier waits

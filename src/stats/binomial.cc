@@ -1,7 +1,9 @@
 #include "stats/binomial.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "stats/normal.h"
 #include "stats/special_functions.h"
 #include "util/check.h"
 
@@ -34,6 +36,25 @@ double BinomialTailAtLeast(int64_t n, int64_t k, double p) {
   if (p == 1.0) return 1.0;
   return RegularizedIncompleteBeta(static_cast<double>(k),
                                    static_cast<double>(n - k) + 1.0, p);
+}
+
+ProportionInterval WilsonScoreInterval(int64_t successes, int64_t n,
+                                       double alpha) {
+  CROWDTOPK_CHECK_GE(n, 1);
+  CROWDTOPK_CHECK(successes >= 0 && successes <= n);
+  CROWDTOPK_CHECK(alpha > 0.0 && alpha < 1.0);
+  const double z = NormalQuantile(1.0 - 0.5 * alpha);
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denominator = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denominator;
+  const double half_width =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denominator;
+  ProportionInterval interval;
+  interval.lo = std::max(0.0, center - half_width);
+  interval.hi = std::min(1.0, center + half_width);
+  return interval;
 }
 
 double BinomialTailAtMost(int64_t n, int64_t k, double p) {

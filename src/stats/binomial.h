@@ -22,6 +22,23 @@ double BinomialPmf(int64_t n, int64_t k, double p);
 // P(X >= k) = I_p(k, n - k + 1) for 1 <= k <= n, handling the edges.
 double BinomialTailAtLeast(int64_t n, int64_t k, double p);
 
+// A two-sided confidence interval for a Binomial proportion, clamped to
+// [0, 1].
+struct ProportionInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+// Wilson score interval at confidence 1 - alpha for a proportion with
+// `successes` successes in `n` trials. Requires n >= 1,
+// 0 <= successes <= n, alpha in (0, 1). Unlike the Wald interval it never
+// degenerates at the edges: p_hat = 0 gives lo = 0 with hi > 0, p_hat = 1
+// gives hi = 1 with lo < 1, and n = 1 stays well-defined. The shared
+// pass/fail band of the guarantee-verification harness (src/verify) and of
+// error-rate benches; do not re-derive normal-approximation bands ad hoc.
+ProportionInterval WilsonScoreInterval(int64_t successes, int64_t n,
+                                       double alpha);
+
 // P(X <= k) = 1 - P(X >= k + 1).
 double BinomialTailAtMost(int64_t n, int64_t k, double p);
 

@@ -13,6 +13,7 @@
 #include "crowd/platform.h"
 #include "data/gaussian_dataset.h"
 #include "data/generators.h"
+#include "fault/injector.h"
 #include "gtest/gtest.h"
 #include "judgment/cache.h"
 #include "judgment/comparison.h"
@@ -20,11 +21,12 @@
 namespace crowdtopk {
 namespace {
 
-// ------------------------ COMP accuracy across alpha and effect size
+// --------------- COMP accuracy across alpha, effect size, and estimator
 
-// Params: (alpha, effect = mean/sd of one judgment).
+// Params: (alpha, effect = mean/sd of one judgment, estimator).
 class ComparisonGuarantee
-    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<double, double, judgment::Estimator>> {};
 
 TEST_P(ComparisonGuarantee, AccuracyAtLeastConfidence) {
   const double alpha = std::get<0>(GetParam());
@@ -36,6 +38,7 @@ TEST_P(ComparisonGuarantee, AccuracyAtLeastConfidence) {
   options.budget = 1 << 20;
   options.min_workload = 30;
   options.batch_size = 30;
+  options.estimator = std::get<2>(GetParam());
   stats::TCriticalCache t_cache(alpha);
   crowd::CrowdPlatform platform(&pair,
                                 17 + static_cast<uint64_t>(effect * 100));
@@ -56,9 +59,77 @@ TEST_P(ComparisonGuarantee, AccuracyAtLeastConfidence) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Sweep, ComparisonGuarantee,
+    StudentSweep, ComparisonGuarantee,
     ::testing::Combine(::testing::Values(0.2, 0.1, 0.05, 0.02),
-                       ::testing::Values(0.3, 0.6, 1.5)));
+                       ::testing::Values(0.3, 0.6, 1.5),
+                       ::testing::Values(judgment::Estimator::kStudent)));
+
+// Algorithm 5's guarantee is the same 1 - alpha, so SteinComp gets the
+// identical sweep rather than the single agreement spot-check below.
+INSTANTIATE_TEST_SUITE_P(
+    SteinSweep, ComparisonGuarantee,
+    ::testing::Combine(::testing::Values(0.2, 0.1, 0.05, 0.02),
+                       ::testing::Values(0.3, 0.6, 1.5),
+                       ::testing::Values(judgment::Estimator::kStein)));
+
+// ------------------------- COMP degradation under a spammer-ridden crowd
+
+// Params: fraction of spammer workers.
+class FaultyComparisonGuarantee : public ::testing::TestWithParam<double> {};
+
+TEST_P(FaultyComparisonGuarantee, DegradesGracefullyUnderSpammers) {
+  const double spammer_fraction = GetParam();
+  const double alpha = 0.05;
+  data::GaussianDataset pair("pair", {0.0, 1.0}, 1.0 / 0.6, 10.0);
+  fault::FaultPlan plan;
+  plan.spammer_fraction = spammer_fraction;
+  const fault::FaultInjectionOracle faulty(&pair, plan, 4242);
+
+  judgment::ComparisonOptions options;
+  options.alpha = alpha;
+  options.budget = 1 << 20;
+  options.min_workload = 30;
+  options.batch_size = 30;
+  stats::TCriticalCache t_cache(alpha);
+
+  const int trials = 120;
+  const auto accuracy_and_workload = [&](const crowd::JudgmentOracle* oracle,
+                                         double* mean_workload) {
+    crowd::CrowdPlatform platform(oracle, 91);
+    int correct = 0;
+    double workload = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      judgment::ComparisonSession session(1, 0, &options, &t_cache);
+      const crowd::ComparisonOutcome outcome =
+          session.RunToCompletion(&platform);
+      // Graceful degradation, part 1: every session still terminates and
+      // honours the budget cap even when the crowd misbehaves.
+      EXPECT_TRUE(session.Finished());
+      EXPECT_LE(session.workload(), options.budget);
+      correct += outcome == crowd::ComparisonOutcome::kLeftWins;
+      workload += static_cast<double>(session.workload());
+    }
+    *mean_workload = workload / trials;
+    return static_cast<double>(correct) / trials;
+  };
+
+  double clean_workload = 0.0, faulty_workload = 0.0;
+  const double clean_accuracy = accuracy_and_workload(&pair, &clean_workload);
+  const double faulty_accuracy =
+      accuracy_and_workload(&faulty, &faulty_workload);
+
+  // Part 2: spam is mean-zero noise, so COMP should pay more microtasks
+  // rather than flip its answer — accuracy sags but stays far above chance.
+  EXPECT_GE(clean_accuracy, 1.0 - alpha - 0.06);
+  EXPECT_GE(faulty_accuracy, 1.0 - alpha - spammer_fraction - 0.1)
+      << "spammer_fraction=" << spammer_fraction;
+  // Part 3: the extra variance is paid for in workload, visibly so.
+  EXPECT_GT(faulty_workload, clean_workload)
+      << "spammer_fraction=" << spammer_fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FaultyComparisonGuarantee,
+                         ::testing::Values(0.1, 0.3));
 
 // ----------------------------------- Workload monotone in difficulty
 

@@ -13,6 +13,7 @@
 #include "core/topk_algorithm.h"
 #include "crowd/platform.h"
 #include "data/generators.h"
+#include "fault/injector.h"
 #include "gtest/gtest.h"
 #include "judgment/comparison.h"
 #include "serve/arrival.h"
@@ -203,6 +204,82 @@ TEST(SchedulerTest, BoundedRetriesFailTheQuery) {
   EXPECT_EQ(stats.completed, 0);
   EXPECT_EQ(stats.failed, 10);              // 2 rounds x 5 microtasks
   EXPECT_EQ(stats.scheduled, 2 * stats.failed);  // max_attempts each
+}
+
+// No-show faults (fault::FaultPlan::no_show_fraction routed through
+// ScheduleOptions::no_show_probability): assignments that never return must
+// expire at the round deadline, surface in the serve/* retry counters of
+// the query outcome, and — with retries left — still let every query
+// complete.
+TEST(SchedulerTest, NoShowFaultsExpireRequeueAndRecover) {
+  const auto dataset = data::MakeUniformLadder(8, 1.0, 0.5);
+  ScriptedAlgorithm algorithm(/*rounds=*/4, /*per_round=*/15);
+
+  fault::FaultPlan plan;
+  plan.no_show_fraction = 0.4;
+
+  ServeOptions options;
+  options.schedule = ReliableCrowd();  // isolate the no-show fault
+  options.schedule.no_show_probability = fault::NoShowProbability(plan);
+  options.schedule.max_attempts = 16;
+  options.jobs = 1;
+
+  std::vector<QueryRequest> requests(2);
+  for (QueryRequest& request : requests) {
+    request.algorithm = &algorithm;
+    request.dataset = dataset.get();
+    request.k = 3;
+  }
+  QueryService service(options);
+  const std::vector<QueryOutcome> outcomes = service.Replay(requests, {0.0, 0.0});
+
+  int64_t expired = 0, requeued = 0;
+  for (const QueryOutcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    expired += outcome.expired_assignments;
+    requeued += outcome.requeued_assignments;
+  }
+  // ~40% of attempts are no-shows, so retries must be visible per query.
+  EXPECT_GT(expired, 0);
+  EXPECT_GT(requeued, 0);
+  const AssignmentStats stats = service.assignment_stats();
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.expired, expired);
+  EXPECT_EQ(stats.completed, outcomes[0].total_microtasks +
+                                 outcomes[1].total_microtasks);
+}
+
+// An all-no-show crowd: every attempt waits out the full deadline, bounded
+// retries kick in, and the query ends kResourceExhausted without stalling
+// the replay loop.
+TEST(SchedulerTest, AllNoShowCrowdFailsBoundedWithoutStalling) {
+  const auto dataset = data::MakeUniformLadder(8, 1.0, 0.5);
+  ScriptedAlgorithm algorithm(/*rounds=*/2, /*per_round=*/5);
+
+  ServeOptions options;
+  options.schedule = ReliableCrowd();
+  options.schedule.no_show_probability = 1.0;
+  options.schedule.max_attempts = 3;
+  options.schedule.deadline_seconds = 60.0;
+  options.jobs = 1;
+
+  std::vector<QueryRequest> requests(1);
+  requests[0].algorithm = &algorithm;
+  requests[0].dataset = dataset.get();
+  requests[0].k = 3;
+  QueryService service(options);
+  const std::vector<QueryOutcome> outcomes = service.Replay(requests, {0.0});
+
+  EXPECT_FALSE(outcomes[0].rejected);
+  EXPECT_EQ(outcomes[0].status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(outcomes[0].expired_assignments, outcomes[0].requeued_assignments +
+                                                 10);  // 10 permanent failures
+  const AssignmentStats stats = service.assignment_stats();
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.failed, 10);              // 2 rounds x 5 microtasks
+  EXPECT_EQ(stats.scheduled, 3 * stats.failed);  // max_attempts each
+  // Every expiring round waited out the deadline on the simulated clock.
+  EXPECT_GE(service.makespan_seconds(), 3 * options.schedule.deadline_seconds);
 }
 
 // A bounded admission queue rejects arrivals that find both the in-flight

@@ -226,6 +226,62 @@ TEST(BinomialTest, AtMostComplementsAtLeast) {
   }
 }
 
+// ----------------------------------------------- Wilson score interval
+
+TEST(WilsonIntervalTest, ContainsPhatAndTightensWithN) {
+  double previous_width = 1.0;
+  for (int64_t n : {10, 100, 1000, 10000}) {
+    const ProportionInterval interval =
+        WilsonScoreInterval(3 * n / 10, n, 0.05);
+    EXPECT_LT(interval.lo, 0.3);
+    EXPECT_GT(interval.hi, 0.3);
+    const double width = interval.hi - interval.lo;
+    EXPECT_LT(width, previous_width) << "n=" << n;
+    previous_width = width;
+  }
+}
+
+TEST(WilsonIntervalTest, MatchesKnownValue) {
+  // Classic worked example: 8/20 successes at 95% confidence.
+  const ProportionInterval interval = WilsonScoreInterval(8, 20, 0.05);
+  EXPECT_NEAR(interval.lo, 0.2188, 5e-4);
+  EXPECT_NEAR(interval.hi, 0.6134, 5e-4);
+}
+
+TEST(WilsonIntervalTest, EdgeProportions) {
+  // p-hat = 0: the lower bound is exactly 0 but the upper bound must stay
+  // strictly positive (zero observed successes never proves p = 0).
+  const ProportionInterval none = WilsonScoreInterval(0, 50, 0.05);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_GT(none.hi, 0.0);
+  EXPECT_LT(none.hi, 0.15);
+  // p-hat = 1: mirrored.
+  const ProportionInterval all = WilsonScoreInterval(50, 50, 0.05);
+  EXPECT_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_GT(all.lo, 0.85);
+  // Symmetry of the two edges around 1/2.
+  EXPECT_NEAR(none.hi, 1.0 - all.lo, 1e-12);
+}
+
+TEST(WilsonIntervalTest, SingleTrialStaysInformativeAndBounded) {
+  for (int64_t successes : {int64_t{0}, int64_t{1}}) {
+    const ProportionInterval interval =
+        WilsonScoreInterval(successes, 1, 0.05);
+    EXPECT_GE(interval.lo, 0.0);
+    EXPECT_LE(interval.hi, 1.0);
+    EXPECT_LT(interval.lo, interval.hi);  // n = 1 decides nothing
+    EXPECT_GT(interval.hi - interval.lo, 0.5);
+  }
+}
+
+TEST(WilsonIntervalTest, StricterAlphaWidens) {
+  const ProportionInterval loose = WilsonScoreInterval(20, 100, 0.1);
+  const ProportionInterval strict = WilsonScoreInterval(20, 100, 0.002);
+  EXPECT_LT(strict.lo, loose.lo);
+  EXPECT_GT(strict.hi, loose.hi);
+}
+
 // ------------------------------------------------------------ Hoeffding
 
 TEST(HoeffdingTest, HalfWidthShrinksWithN) {

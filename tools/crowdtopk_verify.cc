@@ -1,0 +1,217 @@
+// crowdtopk_verify: statistical-guarantee verification harness (src/verify).
+//
+// Runs Monte-Carlo sweeps that check the paper's probabilistic contracts —
+// COMP answers correctly with probability >= 1 - alpha (Section 3) and
+// SPR's expected precision is >= (1 - alpha) / c (Section 5.4) — on a
+// clean crowd and, optionally, on a crowd wrapped in the fault-injection
+// layer (src/fault). Each check is judged with a strict Wilson pass/fail
+// band and stops early once the band is decisive.
+//
+// Argument-free like the benches; all knobs are environment variables:
+//   CROWDTOPK_VERIFY_TRIALS      max Monte-Carlo trials per check   (400)
+//   CROWDTOPK_VERIFY_BLOCK       trials per sequential block        (50)
+//   CROWDTOPK_VERIFY_BAND_ALPHA  Wilson band significance           (0.002)
+//   CROWDTOPK_VERIFY_ALPHAS      comma list of contract alphas      (0.05,0.1)
+//   CROWDTOPK_VERIFY_ESTIMATORS  comma list: student,stein,hoeffding,anytime
+//                                                       (student,stein,hoeffding)
+//   CROWDTOPK_VERIFY_EFFECT      COMP pair effect size mean/sd      (0.6)
+//   CROWDTOPK_VERIFY_BUDGET      per-pair budget for COMP checks    (1<<20)
+//   CROWDTOPK_VERIFY_SPR         =0 skips the end-to-end SPR checks (1)
+//   CROWDTOPK_VERIFY_REPORT      JSONL report path; empty = stdout only
+//   CROWDTOPK_FAULT_SPAMMER      spammer worker fraction            (0)
+//   CROWDTOPK_FAULT_ADVERSARY    adversarial worker fraction        (0)
+//   CROWDTOPK_FAULT_LAZY         lazy worker fraction               (0)
+//   CROWDTOPK_FAULT_DUPLICATE    duplicate-submitter fraction       (0)
+//   CROWDTOPK_FAULT_WORKERS      simulated worker pool size         (200)
+//   CROWDTOPK_SEED, CROWDTOPK_JOBS as everywhere else
+//     (docs/OBSERVABILITY.md). The report is bit-identical for every
+//     CROWDTOPK_JOBS value, including each check's early-stop point.
+//
+// When any CROWDTOPK_FAULT_* fraction is positive every check also runs a
+// "<label>+fault" variant against the faulty crowd. Faulty-crowd verdicts
+// are diagnostic — the paper's contracts assume honest workers, so a FAIL
+// there documents degradation rather than a bug. The process exit code
+// reflects clean-crowd checks only: 0 iff none of them is a FAIL.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/run_engine.h"
+#include "fault/injector.h"
+#include "judgment/comparison.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "verify/guarantee.h"
+
+namespace {
+
+using namespace crowdtopk;
+
+std::vector<std::string> SplitCsv(const std::string& list) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : list) {
+    if (c == ',') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else if (c != ' ') {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+judgment::Estimator ParseEstimator(const std::string& name) {
+  if (name == "student") return judgment::Estimator::kStudent;
+  if (name == "stein") return judgment::Estimator::kStein;
+  if (name == "hoeffding") return judgment::Estimator::kHoeffding;
+  if (name == "anytime") return judgment::Estimator::kAnytime;
+  CROWDTOPK_CHECK(false && "unknown CROWDTOPK_VERIFY_ESTIMATORS entry");
+  return judgment::Estimator::kStudent;
+}
+
+fault::FaultPlan EnvFaultPlan() {
+  fault::FaultPlan plan;
+  plan.num_workers = util::GetEnvInt64("CROWDTOPK_FAULT_WORKERS", 200);
+  plan.spammer_fraction = util::GetEnvDouble("CROWDTOPK_FAULT_SPAMMER", 0.0);
+  plan.adversary_fraction =
+      util::GetEnvDouble("CROWDTOPK_FAULT_ADVERSARY", 0.0);
+  plan.lazy_fraction = util::GetEnvDouble("CROWDTOPK_FAULT_LAZY", 0.0);
+  plan.duplicate_fraction =
+      util::GetEnvDouble("CROWDTOPK_FAULT_DUPLICATE", 0.0);
+  return plan;
+}
+
+void PrintReport(const verify::GuaranteeReport& report) {
+  std::printf(
+      "%-28s %-4s a=%.3f contract<=%.4f  err %5lld/%-6lld (%.4f)  "
+      "wilson [%.4f, %.4f]  ties %lld  workload %.1f  %s%s\n",
+      report.label.c_str(), report.kind.c_str(), report.alpha,
+      report.contract, static_cast<long long>(report.errors),
+      static_cast<long long>(report.trials), report.error_rate,
+      report.wilson_lo, report.wilson_hi,
+      static_cast<long long>(report.ties), report.mean_workload,
+      verify::VerdictName(report.verdict),
+      report.decisive ? " (early stop)" : "");
+}
+
+}  // namespace
+
+int main() {
+  verify::VerifyOptions options;
+  options.max_trials = util::GetEnvInt64("CROWDTOPK_VERIFY_TRIALS", 400);
+  options.block_trials = util::GetEnvInt64("CROWDTOPK_VERIFY_BLOCK", 50);
+  options.band_alpha =
+      util::GetEnvDouble("CROWDTOPK_VERIFY_BAND_ALPHA", 0.002);
+  const double effect = util::GetEnvDouble("CROWDTOPK_VERIFY_EFFECT", 0.6);
+  const int64_t budget =
+      util::GetEnvInt64("CROWDTOPK_VERIFY_BUDGET", int64_t{1} << 20);
+  const bool check_spr = util::GetEnvBool("CROWDTOPK_VERIFY_SPR", true);
+  const std::string report_path =
+      util::GetEnvString("CROWDTOPK_VERIFY_REPORT", "");
+  const uint64_t seed = util::BenchSeed();
+
+  const std::vector<std::string> alpha_names =
+      SplitCsv(util::GetEnvString("CROWDTOPK_VERIFY_ALPHAS", "0.05,0.1"));
+  const std::vector<std::string> estimator_names = SplitCsv(
+      util::GetEnvString("CROWDTOPK_VERIFY_ESTIMATORS",
+                         "student,stein,hoeffding"));
+  CROWDTOPK_CHECK(!alpha_names.empty() && !estimator_names.empty());
+
+  const fault::FaultPlan faults = EnvFaultPlan();
+  const bool faulty_sweep = fault::AnyValueFaults(faults);
+
+  exec::RunEngine::Options engine_options;
+  engine_options.jobs = util::BenchJobs();
+  exec::RunEngine engine(engine_options);
+
+  // The worker count is deliberately absent from the report: the output is
+  // byte-identical for every CROWDTOPK_JOBS value, and CI diffs it.
+  std::printf(
+      "crowdtopk_verify: max %lld trials/check, blocks of %lld, Wilson band "
+      "alpha=%.4g, seed=%llu\n",
+      static_cast<long long>(options.max_trials),
+      static_cast<long long>(options.block_trials), options.band_alpha,
+      static_cast<unsigned long long>(seed));
+  if (faulty_sweep) {
+    std::printf(
+        "fault sweep on: spammer=%.2f adversary=%.2f lazy=%.2f "
+        "duplicate=%.2f over %lld workers (diagnostic; does not affect the "
+        "exit code)\n",
+        faults.spammer_fraction, faults.adversary_fraction,
+        faults.lazy_fraction, faults.duplicate_fraction,
+        static_cast<long long>(faults.num_workers));
+  }
+  std::printf("\n");
+
+  std::vector<verify::GuaranteeReport> reports;
+  int clean_failures = 0;
+  const auto run_comp = [&](const verify::CompCheckSpec& spec, bool clean) {
+    const verify::GuaranteeReport report =
+        verify::VerifyComparisonGuarantee(spec, options, &engine, seed);
+    PrintReport(report);
+    if (clean && report.verdict == verify::Verdict::kFail) ++clean_failures;
+    reports.push_back(report);
+  };
+  const auto run_spr = [&](const verify::SprCheckSpec& spec, bool clean) {
+    const verify::GuaranteeReport report =
+        verify::VerifySprGuarantee(spec, options, &engine, seed);
+    PrintReport(report);
+    if (clean && report.verdict == verify::Verdict::kFail) ++clean_failures;
+    reports.push_back(report);
+  };
+
+  for (const std::string& alpha_name : alpha_names) {
+    const double alpha = std::stod(alpha_name);
+    for (const std::string& estimator_name : estimator_names) {
+      verify::CompCheckSpec spec;
+      spec.label = estimator_name + "_a" + alpha_name;
+      spec.estimator = ParseEstimator(estimator_name);
+      spec.alpha = alpha;
+      spec.effect = effect;
+      spec.budget = budget;
+      run_comp(spec, /*clean=*/true);
+      if (faulty_sweep) {
+        spec.label += "+fault";
+        spec.faults = faults;
+        run_comp(spec, /*clean=*/false);
+      }
+    }
+    if (check_spr) {
+      verify::SprCheckSpec spec;
+      spec.label = "spr_a" + alpha_name;
+      spec.alpha = alpha;
+      run_spr(spec, /*clean=*/true);
+      if (faulty_sweep) {
+        spec.label += "+fault";
+        spec.faults = faults;
+        run_spr(spec, /*clean=*/false);
+      }
+    }
+  }
+
+  if (!report_path.empty()) {
+    const util::Status status =
+        verify::WriteReportJsonl(reports, report_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "crowdtopk_verify: writing %s failed: %s\n",
+                   report_path.c_str(), status.ToString().c_str());
+      return 2;
+    }
+    std::printf("\nreport: %s (%zu checks)\n", report_path.c_str(),
+                reports.size());
+  }
+
+  if (clean_failures > 0) {
+    std::printf(
+        "\n%d clean-crowd guarantee violation(s): the Wilson lower bound "
+        "exceeded the contract (see docs/OBSERVABILITY.md, 'Reading "
+        "guarantee violations').\n",
+        clean_failures);
+    return 1;
+  }
+  std::printf("\nall clean-crowd contracts hold within the Wilson band\n");
+  return 0;
+}
