@@ -34,6 +34,7 @@ crowdtopk_add_bench(ablation_worker_quality)
 crowdtopk_add_bench(ablation_anytime_validity)
 crowdtopk_add_bench(ablation_marketplace)
 crowdtopk_add_bench(ablation_interval_refinement)
+crowdtopk_add_bench(ablation_cache_reuse)
 
 crowdtopk_add_bench(micro_stats)
 target_link_libraries(micro_stats PRIVATE benchmark::benchmark)

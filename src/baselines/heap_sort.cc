@@ -57,7 +57,7 @@ core::TopKResult HeapSortTopK::Run(crowd::CrowdPlatform* platform,
   const int64_t n = platform->num_items();
   CROWDTOPK_CHECK(k >= 1 && k <= n);
   telemetry::PhaseScope trace_phase(platform->recorder(), "heapsort");
-  judgment::ComparisonCache cache(options_);
+  judgment::ComparisonCache cache(options_, platform);
 
   std::vector<ItemId> order(n);
   std::iota(order.begin(), order.end(), 0);

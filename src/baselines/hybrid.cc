@@ -126,7 +126,7 @@ core::TopKResult HybridSpr::Run(crowd::CrowdPlatform* platform, int64_t k) {
   // The SPR stage opens its own select/partition/rank phases beneath this
   // one.
   core::Spr spr(options_.spr);
-  judgment::ComparisonCache cache(options_.spr.comparison);
+  judgment::ComparisonCache cache(options_.spr.comparison, platform);
   std::vector<ItemId> ranked = spr.RunOnItems(survivors, k, &cache, platform);
 
   core::TopKResult result;

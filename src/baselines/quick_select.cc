@@ -80,7 +80,7 @@ core::TopKResult QuickSelectTopK::Run(crowd::CrowdPlatform* platform,
   const int64_t n = platform->num_items();
   CROWDTOPK_CHECK(k >= 1 && k <= n);
   telemetry::PhaseScope trace_phase(platform->recorder(), "quickselect");
-  judgment::ComparisonCache cache(options_);
+  judgment::ComparisonCache cache(options_, platform);
 
   std::vector<ItemId> items(n);
   std::iota(items.begin(), items.end(), 0);

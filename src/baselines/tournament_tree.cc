@@ -20,7 +20,7 @@ core::TopKResult TournamentTree::Run(crowd::CrowdPlatform* platform,
   const int64_t n = platform->num_items();
   CROWDTOPK_CHECK(k >= 1 && k <= n);
   telemetry::PhaseScope trace_phase(platform->recorder(), "tourtree");
-  judgment::ComparisonCache cache(options_);
+  judgment::ComparisonCache cache(options_, platform);
 
   // Random initial bracket (the expected workload is very sensitive to this
   // permutation, Section 4.1).

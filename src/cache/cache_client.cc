@@ -1,0 +1,59 @@
+#include "cache/cache_client.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace crowdtopk::cache {
+
+CacheClient::CacheClient(JudgmentCache* cache, int64_t query_id,
+                         int64_t universe,
+                         std::vector<crowd::ItemId> universe_ids)
+    : cache_(cache),
+      query_id_(query_id),
+      universe_(universe),
+      universe_ids_(std::move(universe_ids)) {
+  CROWDTOPK_CHECK(cache != nullptr);
+}
+
+crowd::ItemId CacheClient::Translate(crowd::ItemId local) const {
+  if (universe_ids_.empty()) return local;
+  CROWDTOPK_CHECK_GE(local, 0);
+  CROWDTOPK_CHECK_LT(static_cast<size_t>(local), universe_ids_.size());
+  return universe_ids_[local];
+}
+
+LookupResult CacheClient::Lookup(crowd::ItemId i, crowd::ItemId j,
+                                 double alpha, int64_t budget,
+                                 JudgmentKind kind) {
+  // Translation preserves the (i, j) order, so the entry the cache orients
+  // for the translated pair is already oriented for the local pair.
+  const LookupResult result =
+      cache_->Lookup(universe_, Translate(i), Translate(j), alpha, budget,
+                     kind);
+  switch (result.status) {
+    case LookupStatus::kMiss:
+      ++stats_.misses;
+      break;
+    case LookupStatus::kHit:
+      ++stats_.hits;
+      stats_.seeded_samples += result.entry.count;
+      break;
+    case LookupStatus::kTopUp:
+      ++stats_.topups;
+      stats_.seeded_samples += result.entry.count;
+      break;
+    case LookupStatus::kInferred:
+      ++stats_.inferred;
+      break;
+  }
+  return result;
+}
+
+void CacheClient::Record(crowd::ItemId i, crowd::ItemId j, JudgmentKind kind,
+                         const CachedComparison& entry) {
+  cache_->Record(query_id_, universe_, Translate(i), Translate(j), kind,
+                 entry);
+}
+
+}  // namespace crowdtopk::cache

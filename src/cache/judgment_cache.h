@@ -1,0 +1,243 @@
+// JudgmentCache: the cross-query judgment cache.
+//
+// The paper's SPR reuses judgments *within* one ranking pass ("the results
+// of comparisons are always reusable", Section 5.3); this module extends the
+// reuse across queries. A completed COMP(o_i, o_j) is memoised in summarised
+// form — verdict, preference mean, Welford M2, sample count, and the nominal
+// error bound alpha it was decided at — keyed by the canonical unordered
+// pair. A later query asking about the same pair is served:
+//
+//   * a HIT when the cached confidence level 1 - alpha_cached meets or
+//     exceeds the requesting query's 1 - alpha (alpha_cached <= alpha), or,
+//     for a budget-exhausted tie, when the cached funding already covers the
+//     requester's per-pair budget B;
+//   * a TOP-UP otherwise: the requester seeds its ComparisonSession with the
+//     cached bag summary and continues buying from the cached sample count,
+//     exactly per COMP's progressive-sampling contract (Algorithm 1 keeps
+//     purchasing eta-batches until its own interval excludes 0);
+//   * optionally (off by default) an INFERRED verdict from transitivity:
+//     cached o_i > o_r and o_r > o_j compose to o_i > o_j. Hui & Berberich
+//     (CSCW'17) measure crowd preference judgments as overwhelmingly
+//     transitive, which is what justifies serving composed verdicts.
+//     Composition rule: each cached verdict is wrong with probability at
+//     most its alpha, so by the union bound the composed verdict is wrong
+//     with probability at most alpha_1 + alpha_2; an inferred answer is
+//     served only when alpha_1 + alpha_2 <= the requester's alpha. Only
+//     directly-judged (never themselves inferred) single-hop chains are
+//     composed, so inference error never compounds.
+//
+// Concurrency and determinism (the src/exec contract): the committed map is
+// mutex-sharded for cheap concurrent lookups. Under the serving layer
+// (src/serve) the cache runs in *deferred-commit* mode: driver threads stage
+// their completed comparisons, and the service thread applies the staged
+// inserts at the scheduler's existing quiescence barriers — sorted by query
+// id — so every driver observes a snapshot that is a pure function of
+// (options, seed, trace) and the replay stays byte-identical for any
+// CROWDTOPK_JOBS value. Two queries that race on the same cold pair within
+// one global round both buy it (the price of determinism); the merge rule
+// below resolves their inserts identically regardless of thread timing.
+//
+// Entries live in per-universe namespaces: queries only share judgments when
+// their CacheClients declare the same universe (same oracle) and translate
+// their local item ids into that universe's id space (cache_client.h).
+
+#ifndef CROWDTOPK_CACHE_JUDGMENT_CACHE_H_
+#define CROWDTOPK_CACHE_JUDGMENT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "crowd/types.h"
+
+namespace crowdtopk::cache {
+
+// Which judgment stream funded an entry. Preference bags (Student / Stein /
+// anytime estimators) and binary-vote bags (Hoeffding) are different sample
+// spaces and never mix.
+enum class JudgmentKind : int32_t {
+  kPreference = 0,
+  kBinary = 1,
+};
+
+struct CacheOptions {
+  // Master switch for layers that construct the cache conditionally
+  // (serve::ServeOptions, tools). The cache object itself is always live.
+  bool enabled = false;
+  // Maximum distinct pairs stored; < 0 = unbounded. 0 stores nothing and
+  // hits nothing, making an attached cache byte-identical to no cache.
+  // When full, new pairs are dropped (deterministic, no eviction).
+  int64_t capacity = -1;
+  // Serve single-hop transitively inferred verdicts (off by default).
+  bool transitivity = false;
+  // Deferred-commit mode: Record() stages inserts per query and only
+  // CommitPending() — called at a point where no driver runs, e.g. the
+  // serving layer's quiescence barrier — applies them, in query-id order.
+  // When false, Record() commits immediately (single-threaded replays).
+  bool deferred_commit = false;
+};
+
+// One memoised comparison, oriented so that a positive mean and kLeftWins
+// favour the first item of the (i, j) order it is handed over with.
+struct CachedComparison {
+  crowd::ComparisonOutcome outcome = crowd::ComparisonOutcome::kTie;
+  // True for a win/loss verdict; false for a budget-exhausted tie.
+  bool decisive = false;
+  // Nominal error bound of the verdict: the alpha of the ComparisonOptions
+  // that decided it, or the union-bound sum for an inferred verdict.
+  double alpha = 1.0;
+  // Bag summary (count, mean, Welford M2) — restoring these into a fresh
+  // RunningStats reproduces the donor session's accumulator bit-for-bit.
+  // count == 0 for inferred verdicts (no samples to seed).
+  int64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  // Stein's frozen first-stage variance estimate (comparison.h).
+  int64_t first_stage_count = 0;
+  double first_stage_sd = 0.0;
+};
+
+enum class LookupStatus {
+  kMiss,      // nothing usable cached
+  kHit,       // cached confidence covers the request; no purchases needed
+  kTopUp,     // cached bag seeds the session; buy the remainder
+  kInferred,  // transitive composition; verdict only, no bag
+};
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::kMiss;
+  // Valid unless kMiss; oriented for the (i, j) order passed to Lookup.
+  CachedComparison entry;
+};
+
+// Monotone counters; readable at any time, exact once quiescent.
+struct CacheStats {
+  int64_t lookups = 0;
+  int64_t hits = 0;
+  int64_t topups = 0;
+  int64_t inferred = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;            // new pairs committed
+  int64_t upgrades = 0;           // existing pairs replaced by better entries
+  int64_t dropped_capacity = 0;   // inserts refused by the capacity bound
+  int64_t seeded_samples = 0;     // samples served into hit/top-up seeds
+  int64_t pairs = 0;              // distinct pairs currently stored
+};
+
+class JudgmentCache {
+ public:
+  explicit JudgmentCache(const CacheOptions& options);
+
+  JudgmentCache(const JudgmentCache&) = delete;
+  JudgmentCache& operator=(const JudgmentCache&) = delete;
+
+  const CacheOptions& options() const { return options_; }
+
+  // Looks up the pair (i, j) of `universe` for a query at significance
+  // `alpha` and per-pair budget `budget`. The returned entry is oriented for
+  // (i, j) as passed (mean sign and outcome flipped from canonical storage
+  // when needed). Thread-safe.
+  LookupResult Lookup(int64_t universe, crowd::ItemId i, crowd::ItemId j,
+                      double alpha, int64_t budget, JudgmentKind kind);
+
+  // Records a completed comparison, `entry` oriented for (i, j) as passed.
+  // Immediate mode commits now; deferred mode stages under `query_id` until
+  // CommitPending(). An existing entry is only replaced by a strictly
+  // better one (decisive beats tie, then lower alpha, then higher count),
+  // so commit order between equal entries never changes the map.
+  // Thread-safe.
+  void Record(int64_t query_id, int64_t universe, crowd::ItemId i,
+              crowd::ItemId j, JudgmentKind kind,
+              const CachedComparison& entry);
+
+  // Applies staged inserts in (query id, staging order). Call only while no
+  // driver is recording or looking up — the serving layer calls it at its
+  // quiescence barriers. No-op in immediate mode.
+  void CommitPending();
+
+  CacheStats stats() const;
+  int64_t num_pairs() const { return pairs_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Key {
+    int64_t universe = 0;
+    uint64_t pair = 0;  // canonical (lo << 32) | hi
+    int32_t kind = 0;
+    bool operator==(const Key& other) const {
+      return universe == other.universe && pair == other.pair &&
+             kind == other.kind;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, CachedComparison, KeyHash> entries;
+  };
+  struct Staged {
+    Key key;
+    CachedComparison entry;  // canonical orientation
+  };
+  // Neighbours with decisive entries, per (universe, item, kind); sorted.
+  struct AdjKey {
+    int64_t universe = 0;
+    crowd::ItemId item = 0;
+    int32_t kind = 0;
+    bool operator==(const AdjKey& other) const {
+      return universe == other.universe && item == other.item &&
+             kind == other.kind;
+    }
+  };
+  struct AdjKeyHash {
+    size_t operator()(const AdjKey& key) const;
+  };
+
+  static constexpr int kNumShards = 16;
+
+  Shard* ShardFor(const Key& key);
+  const Shard* ShardFor(const Key& key) const;
+  // Commits one canonical-orientation entry into its shard (and the
+  // adjacency index when decisive). Immediate mode calls it from Record;
+  // deferred mode from CommitPending.
+  void Commit(const Key& key, const CachedComparison& entry);
+  // True when `incoming` should replace `existing`.
+  static bool Better(const CachedComparison& incoming,
+                     const CachedComparison& existing);
+  // Single-hop transitive inference for canonical pair (lo, hi); returns a
+  // canonical-orientation entry on success.
+  bool TryInfer(int64_t universe, crowd::ItemId lo, crowd::ItemId hi,
+                double alpha, JudgmentKind kind, CachedComparison* out);
+  // Fetches the committed canonical entry for (a, b), oriented for (a, b).
+  bool FindOriented(int64_t universe, crowd::ItemId a, crowd::ItemId b,
+                    JudgmentKind kind, CachedComparison* out) const;
+
+  const CacheOptions options_;
+  Shard shards_[kNumShards];
+  std::atomic<int64_t> pairs_{0};
+
+  std::mutex staged_mu_;
+  std::map<int64_t, std::vector<Staged>> staged_;  // query id -> inserts
+
+  std::mutex adjacency_mu_;
+  std::unordered_map<AdjKey, std::vector<crowd::ItemId>, AdjKeyHash>
+      adjacency_;
+
+  // Stats counters (relaxed: monotone, read for reporting only).
+  std::atomic<int64_t> lookups_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> topups_{0};
+  std::atomic<int64_t> inferred_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> inserts_{0};
+  std::atomic<int64_t> upgrades_{0};
+  std::atomic<int64_t> dropped_capacity_{0};
+  std::atomic<int64_t> seeded_samples_{0};
+};
+
+}  // namespace crowdtopk::cache
+
+#endif  // CROWDTOPK_CACHE_JUDGMENT_CACHE_H_

@@ -16,7 +16,7 @@ TopKResult Spr::Run(crowd::CrowdPlatform* platform, int64_t k) {
   telemetry::PhaseScope trace_phase(platform->recorder(), "spr");
   std::vector<ItemId> items(platform->num_items());
   std::iota(items.begin(), items.end(), 0);
-  judgment::ComparisonCache cache(options_.comparison);
+  judgment::ComparisonCache cache(options_.comparison, platform);
 
   TopKResult result;
   result.items = RunOnItems(items, k, &cache, platform);
@@ -53,7 +53,7 @@ std::vector<ItemId> Spr::RunOnItems(const std::vector<ItemId>& items,
       std::min(options_.comparison.budget,
                options_.selection_budget_per_pair_batches *
                    options_.comparison.min_workload);
-  judgment::ComparisonCache selection_cache(selection_options);
+  judgment::ComparisonCache selection_cache(selection_options, platform);
   ItemId initial_reference;
   {
     telemetry::PhaseScope trace_phase(platform->recorder(), "select");

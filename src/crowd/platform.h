@@ -24,6 +24,10 @@
 #include "telemetry/recorder.h"
 #include "util/random.h"
 
+namespace crowdtopk::cache {
+class CacheClient;  // src/cache — attached opaquely, see SetCacheClient
+}  // namespace crowdtopk::cache
+
 namespace crowdtopk::crowd {
 
 // The purchase and round-boundary methods are virtual so that a serving
@@ -80,6 +84,14 @@ class CrowdPlatform {
   }
   telemetry::TraceRecorder* recorder() const { return recorder_; }
 
+  // Attaches this query's handle onto the cross-query judgment cache
+  // (src/cache). Like the recorder, the pointer is merely carried here:
+  // the judgment layer reads it back at ComparisonCache construction to
+  // serve memoised verdicts before buying fresh microtasks. May be nullptr
+  // to detach; must outlive the platform while attached.
+  void SetCacheClient(cache::CacheClient* client) { cache_client_ = client; }
+  cache::CacheClient* cache_client() const { return cache_client_; }
+
   // Total microtasks purchased so far (the paper's TMC).
   int64_t total_microtasks() const { return total_microtasks_; }
 
@@ -96,6 +108,7 @@ class CrowdPlatform {
   util::Rng rng_;
   LatencyModel* latency_model_ = nullptr;
   telemetry::TraceRecorder* recorder_ = nullptr;
+  cache::CacheClient* cache_client_ = nullptr;
   int64_t total_microtasks_ = 0;
   int64_t rounds_ = 0;
 };

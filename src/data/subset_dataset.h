@@ -23,6 +23,11 @@ class SubsetDataset : public Dataset {
 
   ItemId ToParentId(ItemId local) const { return parent_ids_[local]; }
 
+  // Local-to-parent id table; what a serve::QueryRequest passes as
+  // cache_item_ids so overlapping subset queries share cached judgments in
+  // the parent's id space.
+  const std::vector<ItemId>& parent_ids() const { return parent_ids_; }
+
   double PreferenceJudgment(ItemId i, ItemId j,
                             util::Rng* rng) const override;
   double BinaryJudgment(ItemId i, ItemId j, util::Rng* rng) const override;

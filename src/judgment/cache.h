@@ -5,6 +5,12 @@
 // the unordered item pair, so re-comparing a pair during sorting costs
 // nothing if it was already resolved during partitioning, and partially
 // funded comparisons resume instead of restarting.
+//
+// When the platform carries a cache::CacheClient (the cross-query judgment
+// cache, src/cache), the per-query cache additionally consults the shared
+// store on first touch of a pair — seeding or finishing the session from a
+// memoised verdict — and publishes its own finished sessions back on
+// destruction. Algorithms are oblivious: they see only ComparisonSessions.
 
 #ifndef CROWDTOPK_JUDGMENT_CACHE_H_
 #define CROWDTOPK_JUDGMENT_CACHE_H_
@@ -13,16 +19,27 @@
 #include <memory>
 #include <unordered_map>
 
+#include "cache/cache_client.h"
 #include "crowd/platform.h"
 #include "crowd/types.h"
 #include "judgment/comparison.h"
 #include "stats/student_t.h"
+#include "telemetry/recorder.h"
 
 namespace crowdtopk::judgment {
 
 class ComparisonCache {
  public:
-  explicit ComparisonCache(const ComparisonOptions& options);
+  // When `platform` is non-null and carries a cache::CacheClient, sessions
+  // are seeded from / published to the shared cross-query cache. The client
+  // must outlive this object (the serving layer guarantees both live for the
+  // whole query).
+  explicit ComparisonCache(const ComparisonOptions& options,
+                           crowd::CrowdPlatform* platform = nullptr);
+
+  // Publishes every finished, self-funded session to the shared cache (a
+  // no-op without one), in canonical key order for determinism.
+  ~ComparisonCache();
 
   const ComparisonOptions& options() const { return options_; }
   stats::TCriticalCache* t_cache() { return &t_cache_; }
@@ -64,9 +81,15 @@ class ComparisonCache {
            static_cast<uint32_t>(hi);
   }
 
+  // Consults the shared cache for a freshly created session (hit / top-up /
+  // inferred verdict); no-op when no client is attached.
+  void ConsultSharedCache(ComparisonSession* session);
+
   ComparisonOptions options_;
   stats::TCriticalCache t_cache_;
   std::unordered_map<uint64_t, std::unique_ptr<ComparisonSession>> sessions_;
+  cache::CacheClient* shared_ = nullptr;      // optional, not owned
+  telemetry::TraceRecorder* recorder_ = nullptr;  // optional, not owned
 };
 
 }  // namespace crowdtopk::judgment

@@ -105,6 +105,37 @@ void ComparisonSession::AddSampleForTest(double value) {
   }
 }
 
+void ComparisonSession::SeedFromCache(int64_t count, double mean, double m2,
+                                      int64_t first_stage_count,
+                                      double first_stage_sd) {
+  CROWDTOPK_CHECK(!finished_);
+  CROWDTOPK_CHECK_EQ(bag_.count(), 0);
+  CROWDTOPK_CHECK_GE(count, 1);
+  bag_.Restore(count, mean, m2);
+  seeded_count_ = count;
+  first_stage_count_ = first_stage_count;
+  first_stage_sd_ = first_stage_sd;
+  if (first_stage_count_ == 0 && bag_.count() >= options_->min_workload) {
+    // Donor never froze a first stage (it was seeded below I and abandoned);
+    // freeze from the restored bag, as Step() would after a purchase.
+    first_stage_count_ = bag_.count();
+    first_stage_sd_ = bag_.StdDev();
+  }
+  if (bag_.count() >= options_->min_workload) {
+    Evaluate();
+  }
+  if (!finished_ && bag_.count() >= options_->budget) {
+    finished_ = true;
+    outcome_ = ComparisonOutcome::kTie;
+  }
+}
+
+void ComparisonSession::ForceOutcomeFromCache(ComparisonOutcome outcome) {
+  CROWDTOPK_CHECK(!finished_);
+  finished_ = true;
+  outcome_ = outcome;
+}
+
 void ComparisonSession::Evaluate() {
   if (bag_.count() < 2) return;
   bool excludes_zero = false;

@@ -142,6 +142,31 @@ class ComparisonSession {
   // offline replay).
   void AddSampleForTest(double value);
 
+  // Seeds a fresh session from a memoised bag summary (the cross-query
+  // judgment cache, src/cache): restores the Welford accumulator and Stein's
+  // frozen first-stage estimate bit-for-bit to the donor session's state,
+  // then re-evaluates the stopping rule under THIS session's options. Only
+  // valid before any sample has been added. Subsequent Step() calls buy from
+  // the restored count onward, exactly as the donor would have continued.
+  void SeedFromCache(int64_t count, double mean, double m2,
+                     int64_t first_stage_count, double first_stage_sd);
+
+  // Marks the session finished with `outcome` without purchasing. Used for
+  // cache hits: transitively inferred verdicts (empty bag — the verdict is
+  // trusted at the cache's composed confidence) and seeded decisive verdicts
+  // that this session's own estimator would not re-derive from the restored
+  // bag (the donor may have decided under a different estimator).
+  void ForceOutcomeFromCache(ComparisonOutcome outcome);
+
+  // Samples restored by SeedFromCache (0 for cold sessions). workload() ==
+  // seeded_count() means this session never purchased anything itself.
+  int64_t seeded_count() const { return seeded_count_; }
+
+  // Bag / first-stage raw state, read off by the cache when memoising.
+  double M2() const { return bag_.M2(); }
+  int64_t first_stage_count() const { return first_stage_count_; }
+  double first_stage_sd() const { return first_stage_sd_; }
+
  private:
   // Re-evaluates the stopping rule from the current bag.
   void Evaluate();
@@ -166,6 +191,7 @@ class ComparisonSession {
   bool finished_ = false;
   ComparisonOutcome outcome_ = ComparisonOutcome::kTie;
   int64_t purchase_iterations_ = 0;
+  int64_t seeded_count_ = 0;
   std::vector<double> scratch_;  // reused purchase buffer
 };
 

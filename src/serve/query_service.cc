@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <deque>
 #include <thread>
+#include <unordered_map>
 
+#include "cache/cache_client.h"
 #include "metrics/ranking_metrics.h"
 #include "metrics/trace_aggregate.h"
 #include "serve/async_platform.h"
@@ -63,6 +65,33 @@ std::vector<QueryOutcome> QueryService::Replay(
   }
   scheduler_ = std::make_unique<BatchScheduler>(options_.schedule,
                                                 options_.seed, pool_.get());
+  if (options_.cache.enabled) {
+    // Deferred commit is mandatory under concurrent drivers: inserts apply
+    // only at the quiescence barriers below, in query-id order, keeping the
+    // replay bit-identical for any jobs value.
+    cache::CacheOptions cache_options = options_.cache;
+    cache_options.deferred_commit = true;
+    cache_ = std::make_unique<cache::JudgmentCache>(cache_options);
+    // Resolve cache universes: explicit request values win; otherwise one
+    // universe per distinct dataset pointer, numbered past the largest
+    // explicit id in first-seen request order.
+    universes_.assign(n, -1);
+    int64_t next_universe = 0;
+    for (const QueryRequest& request : requests) {
+      next_universe = std::max(next_universe, request.cache_universe + 1);
+    }
+    std::unordered_map<const data::Dataset*, int64_t> by_dataset;
+    for (int64_t i = 0; i < n; ++i) {
+      if (requests[i].cache_universe >= 0) {
+        universes_[i] = requests[i].cache_universe;
+        continue;
+      }
+      const auto [it, inserted] =
+          by_dataset.try_emplace(requests[i].dataset, next_universe);
+      if (inserted) ++next_universe;
+      universes_[i] = it->second;
+    }
+  }
 
   std::vector<std::thread> drivers;
   drivers.reserve(n);
@@ -99,6 +128,9 @@ std::vector<QueryOutcome> QueryService::Replay(
     }
 
     scheduler_->WaitQuiescent();
+    // All drivers are parked or finished here: apply this round's staged
+    // cache inserts so the next round's lookups see them.
+    if (cache_ != nullptr) cache_->CommitPending();
     const std::vector<int64_t> finished = scheduler_->DrainFinished();
     if (!finished.empty()) {
       inflight -= static_cast<int64_t>(finished.size());
@@ -116,6 +148,8 @@ std::vector<QueryOutcome> QueryService::Replay(
     }
   }
   for (std::thread& t : drivers) t.join();
+  // Final barrier: fold the last round's publications into the stats.
+  if (cache_ != nullptr) cache_->CommitPending();
 
   for (int64_t id = 0; id < n; ++id) {
     QueryOutcome& o = outcomes_[id];
@@ -141,6 +175,10 @@ std::vector<QueryOutcome> QueryService::Replay(
   return outcomes_;
 }
 
+cache::CacheStats QueryService::cache_stats() const {
+  return cache_ == nullptr ? cache::CacheStats() : cache_->stats();
+}
+
 void QueryService::DriverMain(int64_t query_id) {
   const QueryRequest& request = (*requests_)[query_id];
   AsyncPlatform platform(request.dataset,
@@ -149,6 +187,12 @@ void QueryService::DriverMain(int64_t query_id) {
   telemetry::TraceRecorder recorder;
   const bool tracing = !options_.trace_dir.empty();
   if (tracing) platform.SetRecorder(&recorder);
+  std::unique_ptr<cache::CacheClient> cache_client;
+  if (cache_ != nullptr) {
+    cache_client = std::make_unique<cache::CacheClient>(
+        cache_.get(), query_id, universes_[query_id], request.cache_item_ids);
+    platform.SetCacheClient(cache_client.get());
+  }
 
   const core::TopKResult result = request.algorithm->Run(&platform, request.k);
   // Flush trailing purchases so the query never finishes with microtasks
@@ -161,6 +205,23 @@ void QueryService::DriverMain(int64_t query_id) {
   o.rounds_private = platform.rounds();
   o.precision_at_k =
       metrics::PrecisionAtK(*request.dataset, result.items, request.k);
+  if (cache_client != nullptr) {
+    const cache::ClientStats& cs = cache_client->stats();
+    o.cache_hits = cs.hits;
+    o.cache_topups = cs.topups;
+    o.cache_inferred = cs.inferred;
+    o.cache_misses = cs.misses;
+    o.cache_seeded_samples = cs.seeded_samples;
+    if (tracing) {
+      recorder.RecordCounter("cache/hits", static_cast<double>(cs.hits));
+      recorder.RecordCounter("cache/topups", static_cast<double>(cs.topups));
+      recorder.RecordCounter("cache/inferred",
+                             static_cast<double>(cs.inferred));
+      recorder.RecordCounter("cache/misses", static_cast<double>(cs.misses));
+      recorder.RecordCounter("cache/seeded_samples",
+                             static_cast<double>(cs.seeded_samples));
+    }
+  }
 
   if (tracing) {
     // The serve counters are stable here: the clock is frozen while this

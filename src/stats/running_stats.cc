@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/check.h"
+
 namespace crowdtopk::stats {
 
 void RunningStats::Add(double x) {
@@ -32,6 +34,14 @@ double RunningStats::Variance() const {
 }
 
 double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+void RunningStats::Restore(int64_t count, double mean, double m2) {
+  CROWDTOPK_CHECK_EQ(count_, 0);
+  CROWDTOPK_CHECK_GE(count, 0);
+  count_ = count;
+  mean_ = mean;
+  m2_ = m2;
+}
 
 void RunningStats::Reset() {
   count_ = 0;

@@ -36,6 +36,17 @@ class RunningStats {
   // Sum of observations.
   double Sum() const { return mean_ * static_cast<double>(count_); }
 
+  // Raw sum of squared deviations from the running mean. Together with
+  // count() and Mean() this is the accumulator's full state; it is what the
+  // cross-query judgment cache (src/cache) memoises so a restored bag is
+  // bit-identical to the donor's.
+  double M2() const { return m2_; }
+
+  // Restores the full accumulator state from a (count, mean, m2) summary
+  // previously read off another instance. Only valid on an empty
+  // accumulator.
+  void Restore(int64_t count, double mean, double m2);
+
   void Reset();
 
  private:

@@ -105,6 +105,16 @@ bool TraceAllRuns() {
   return GetEnvBool("CROWDTOPK_TRACE_ALL_RUNS", false);
 }
 
+bool CacheEnabled() { return GetEnvBool("CROWDTOPK_CACHE", false); }
+
+int64_t CacheCapacity() {
+  return GetEnvInt64("CROWDTOPK_CACHE_CAPACITY", -1);
+}
+
+bool CacheTransitivity() {
+  return GetEnvBool("CROWDTOPK_CACHE_TRANSITIVITY", false);
+}
+
 std::string ProgramName() {
   std::FILE* comm = std::fopen("/proc/self/comm", "r");
   if (comm == nullptr) return "bench";

@@ -71,6 +71,21 @@ bool TraceAllRuns();
 // files; "bench" when unavailable.
 std::string ProgramName();
 
+// CROWDTOPK_CACHE=1 enables the cross-query judgment cache (src/cache) in
+// tools and benches that support it. Off by default: the cache trades
+// statistical independence between queries for cost, so reuse is opt-in.
+bool CacheEnabled();
+
+// Maximum distinct pairs the judgment cache stores (CROWDTOPK_CACHE_CAPACITY,
+// default -1 = unbounded; 0 stores nothing, making an enabled cache
+// byte-identical to a disabled one).
+int64_t CacheCapacity();
+
+// CROWDTOPK_CACHE_TRANSITIVITY=1 additionally serves single-hop transitively
+// composed verdicts (see src/cache/judgment_cache.h for the union-bound
+// confidence composition rule). Off by default.
+bool CacheTransitivity();
+
 }  // namespace crowdtopk::util
 
 #endif  // CROWDTOPK_UTIL_ENV_H_

@@ -20,6 +20,16 @@ else
 fi
 
 failures=0
+
+# The documentation set the README promises must exist.
+for required in README.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md \
+    docs/BENCHMARKS.md; do
+  if [ ! -f "$root/$required" ]; then
+    echo "MISSING: required doc $required"
+    failures=$((failures + 1))
+  fi
+done
+
 for file in "${files[@]}"; do
   dir="$(dirname "$file")"
   # Extract every (...) target of an inline markdown link in this file.

@@ -19,9 +19,14 @@
 //   CROWDTOPK_SERVE_ABANDON   worker abandonment probability  (default 0.03)
 //   CROWDTOPK_SERVE_ATTEMPTS  dispatch attempts per microtask (default 4)
 //   CROWDTOPK_SERVE_PER_QUERY =1 prints the per-query CSV table
+//   CROWDTOPK_CACHE           =1 shares completed judgments across queries
+//                             through the cross-query cache (src/cache)
+//   CROWDTOPK_CACHE_CAPACITY  max cached pairs, <0 unbounded, 0 none  (-1)
+//   CROWDTOPK_CACHE_TRANSITIVITY =1 serves single-hop composed verdicts
 //   CROWDTOPK_SEED, CROWDTOPK_JOBS, CROWDTOPK_TRACE, CROWDTOPK_TRACE_DIR
-//     as everywhere else (docs/OBSERVABILITY.md). The report is
-//     bit-identical for every CROWDTOPK_JOBS value.
+//     as everywhere else (docs/OBSERVABILITY.md, docs/BENCHMARKS.md). The
+//     report is bit-identical for every CROWDTOPK_JOBS value, with or
+//     without the cache.
 
 #include <cstdio>
 #include <memory>
@@ -105,6 +110,9 @@ int main() {
   options.jobs = util::BenchJobs();
   options.seed = seed;
   if (util::TraceEnabled()) options.trace_dir = util::TraceDir();
+  options.cache.enabled = util::CacheEnabled();
+  options.cache.capacity = util::CacheCapacity();
+  options.cache.transitivity = util::CacheTransitivity();
 
   judgment::ComparisonOptions comparison;
   comparison.alpha = util::GetEnvDouble("CROWDTOPK_SERVE_ALPHA", 0.02);
@@ -154,5 +162,19 @@ int main() {
     std::printf("%s\n", serve::RenderQueryTable(outcomes).c_str());
   }
   std::printf("%s", serve::RenderServeReport(report).c_str());
+  if (options.cache.enabled) {
+    const cache::CacheStats cs = service.cache_stats();
+    std::printf(
+        "\ncache: lookups=%lld hits=%lld topups=%lld inferred=%lld "
+        "misses=%lld | pairs=%lld inserts=%lld upgrades=%lld dropped=%lld "
+        "seeded_samples=%lld\n",
+        static_cast<long long>(cs.lookups), static_cast<long long>(cs.hits),
+        static_cast<long long>(cs.topups), static_cast<long long>(cs.inferred),
+        static_cast<long long>(cs.misses), static_cast<long long>(cs.pairs),
+        static_cast<long long>(cs.inserts),
+        static_cast<long long>(cs.upgrades),
+        static_cast<long long>(cs.dropped_capacity),
+        static_cast<long long>(cs.seeded_samples));
+  }
   return 0;
 }
