@@ -35,6 +35,7 @@ crowdtopk_add_bench(ablation_anytime_validity)
 crowdtopk_add_bench(ablation_marketplace)
 crowdtopk_add_bench(ablation_interval_refinement)
 crowdtopk_add_bench(ablation_cache_reuse)
+crowdtopk_add_bench(ablation_warm_restart)
 
 crowdtopk_add_bench(micro_stats)
 target_link_libraries(micro_stats PRIVATE benchmark::benchmark)

@@ -200,7 +200,8 @@ void JudgmentCache::Record(int64_t query_id, int64_t universe, ItemId i,
   Commit(key, canonical);
 }
 
-void JudgmentCache::Commit(const Key& key, const CachedComparison& entry) {
+void JudgmentCache::Commit(const Key& key, const CachedComparison& entry,
+                           bool restored) {
   bool adjacency_dirty = false;
   {
     Shard* shard = ShardFor(key);
@@ -210,11 +211,16 @@ void JudgmentCache::Commit(const Key& key, const CachedComparison& entry) {
       if (options_.capacity >= 0 &&
           pairs_.load(std::memory_order_relaxed) >= options_.capacity) {
         dropped_capacity_.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> dropped_lock(dropped_mu_);
+          ++dropped_by_universe_[key.universe];
+        }
         return;
       }
       shard->entries.emplace(key, entry);
       pairs_.fetch_add(1, std::memory_order_relaxed);
-      inserts_.fetch_add(1, std::memory_order_relaxed);
+      (restored ? restored_ : inserts_)
+          .fetch_add(1, std::memory_order_relaxed);
       adjacency_dirty = entry.decisive;
     } else if (Better(entry, it->second)) {
       adjacency_dirty = entry.decisive && !it->second.decisive;
@@ -240,7 +246,7 @@ void JudgmentCache::Commit(const Key& key, const CachedComparison& entry) {
   }
 }
 
-void JudgmentCache::CommitPending() {
+void JudgmentCache::CommitPending(std::vector<ExportedEntry>* applied) {
   std::map<int64_t, std::vector<Staged>> staged;
   {
     std::lock_guard<std::mutex> lock(staged_mu_);
@@ -251,8 +257,50 @@ void JudgmentCache::CommitPending() {
   for (const auto& [query_id, inserts] : staged) {
     (void)query_id;
     for (const Staged& staged_insert : inserts) {
+      if (applied != nullptr) {
+        ExportedEntry exported;
+        exported.universe = staged_insert.key.universe;
+        exported.kind = staged_insert.key.kind;
+        exported.lo = static_cast<ItemId>(staged_insert.key.pair >> 32);
+        exported.hi = static_cast<ItemId>(staged_insert.key.pair & 0xffffffffu);
+        exported.entry = staged_insert.entry;
+        applied->push_back(exported);
+      }
       Commit(staged_insert.key, staged_insert.entry);
     }
+  }
+}
+
+std::vector<ExportedEntry> JudgmentCache::Export() const {
+  std::vector<ExportedEntry> exported;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      ExportedEntry e;
+      e.universe = key.universe;
+      e.kind = key.kind;
+      e.lo = static_cast<ItemId>(key.pair >> 32);
+      e.hi = static_cast<ItemId>(key.pair & 0xffffffffu);
+      e.entry = entry;
+      exported.push_back(e);
+    }
+  }
+  std::sort(exported.begin(), exported.end(),
+            [](const ExportedEntry& a, const ExportedEntry& b) {
+              if (a.universe != b.universe) return a.universe < b.universe;
+              if (a.lo != b.lo) return a.lo < b.lo;
+              if (a.hi != b.hi) return a.hi < b.hi;
+              return a.kind < b.kind;
+            });
+  return exported;
+}
+
+void JudgmentCache::RestoreEntries(const std::vector<ExportedEntry>& entries) {
+  if (options_.capacity == 0) return;
+  for (const ExportedEntry& e : entries) {
+    CROWDTOPK_CHECK(e.lo < e.hi);
+    const Key key{e.universe, CanonicalPair(e.lo, e.hi), e.kind};
+    Commit(key, e.entry, /*restored=*/true);
   }
 }
 
@@ -268,6 +316,12 @@ CacheStats JudgmentCache::stats() const {
   stats.dropped_capacity = dropped_capacity_.load(std::memory_order_relaxed);
   stats.seeded_samples = seeded_samples_.load(std::memory_order_relaxed);
   stats.pairs = pairs_.load(std::memory_order_relaxed);
+  stats.restored = restored_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(dropped_mu_);
+    stats.dropped_by_universe.assign(dropped_by_universe_.begin(),
+                                     dropped_by_universe_.end());
+  }
   return stats;
 }
 

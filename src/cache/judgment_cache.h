@@ -125,6 +125,23 @@ struct CacheStats {
   int64_t dropped_capacity = 0;   // inserts refused by the capacity bound
   int64_t seeded_samples = 0;     // samples served into hit/top-up seeds
   int64_t pairs = 0;              // distinct pairs currently stored
+  int64_t restored = 0;           // pairs restored from a snapshot/warm start
+  // Capacity drops broken down by universe (ascending universe id), so a
+  // multi-tenant deployment can see *whose* inserts the bound refused; the
+  // aggregate dropped_capacity is their sum. Exported as
+  // cache/universe<id>/dropped telemetry counters by the serving layer.
+  std::vector<std::pair<int64_t, int64_t>> dropped_by_universe;
+};
+
+// One committed entry in canonical orientation (lo < hi), as exported by
+// JudgmentCache::Export and restored by RestoreEntries — the on-disk unit
+// of the durability layer's snapshots (src/persist).
+struct ExportedEntry {
+  int64_t universe = 0;
+  int32_t kind = 0;
+  crowd::ItemId lo = 0;
+  crowd::ItemId hi = 0;
+  CachedComparison entry;
 };
 
 class JudgmentCache {
@@ -155,8 +172,20 @@ class JudgmentCache {
 
   // Applies staged inserts in (query id, staging order). Call only while no
   // driver is recording or looking up — the serving layer calls it at its
-  // quiescence barriers. No-op in immediate mode.
-  void CommitPending();
+  // quiescence barriers. No-op in immediate mode. When `applied` is
+  // non-null, every staged insert is appended to it in apply order
+  // (canonical orientation, regardless of the capacity/merge outcome) — the
+  // write-ahead log records exactly this sequence.
+  void CommitPending(std::vector<ExportedEntry>* applied = nullptr);
+
+  // Deterministic dump of every committed entry, sorted by (universe, pair,
+  // kind): the snapshot image. Call only while quiescent.
+  std::vector<ExportedEntry> Export() const;
+
+  // Commits previously exported entries into an (typically fresh) cache —
+  // the warm-restart path. Counted under CacheStats::restored rather than
+  // inserts; the capacity bound still applies. Call only while quiescent.
+  void RestoreEntries(const std::vector<ExportedEntry>& entries);
 
   CacheStats stats() const;
   int64_t num_pairs() const { return pairs_.load(std::memory_order_relaxed); }
@@ -202,8 +231,10 @@ class JudgmentCache {
   const Shard* ShardFor(const Key& key) const;
   // Commits one canonical-orientation entry into its shard (and the
   // adjacency index when decisive). Immediate mode calls it from Record;
-  // deferred mode from CommitPending.
-  void Commit(const Key& key, const CachedComparison& entry);
+  // deferred mode from CommitPending; RestoreEntries passes
+  // `restored` = true so warm-start imports are counted separately.
+  void Commit(const Key& key, const CachedComparison& entry,
+              bool restored = false);
   // True when `incoming` should replace `existing`.
   static bool Better(const CachedComparison& incoming,
                      const CachedComparison& existing);
@@ -236,6 +267,12 @@ class JudgmentCache {
   std::atomic<int64_t> upgrades_{0};
   std::atomic<int64_t> dropped_capacity_{0};
   std::atomic<int64_t> seeded_samples_{0};
+  std::atomic<int64_t> restored_{0};
+
+  // Per-universe capacity-drop counts (the drop path is already the slow
+  // path, so a mutex-guarded map costs nothing measurable).
+  mutable std::mutex dropped_mu_;
+  std::map<int64_t, int64_t> dropped_by_universe_;
 };
 
 }  // namespace crowdtopk::cache

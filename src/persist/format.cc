@@ -1,0 +1,170 @@
+#include "persist/format.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace crowdtopk::persist {
+
+std::string EncodeAdmit(int64_t query_id) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(RecordType::kAdmit));
+  enc.PutI64(query_id);
+  return enc.Take();
+}
+
+std::string EncodeReject(int64_t query_id) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(RecordType::kReject));
+  enc.PutI64(query_id);
+  return enc.Take();
+}
+
+std::string EncodeComplete(const CompleteRecord& record) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(RecordType::kComplete));
+  enc.PutI64(record.query_id);
+  enc.PutU32(record.status_code);
+  enc.PutI64(record.total_microtasks);
+  enc.PutI64(record.rounds_private);
+  enc.PutDouble(record.precision_at_k);
+  enc.PutU32(static_cast<uint32_t>(record.items.size()));
+  for (const int32_t item : record.items) enc.PutI32(item);
+  return enc.Take();
+}
+
+void EncodeCacheEntry(const cache::ExportedEntry& entry, Encoder* enc) {
+  enc->PutI64(entry.universe);
+  enc->PutI32(entry.kind);
+  enc->PutI32(entry.lo);
+  enc->PutI32(entry.hi);
+  enc->PutI32(static_cast<int32_t>(entry.entry.outcome));
+  enc->PutU8(entry.entry.decisive ? 1 : 0);
+  enc->PutDouble(entry.entry.alpha);
+  enc->PutI64(entry.entry.count);
+  enc->PutDouble(entry.entry.mean);
+  enc->PutDouble(entry.entry.m2);
+  enc->PutI64(entry.entry.first_stage_count);
+  enc->PutDouble(entry.entry.first_stage_sd);
+}
+
+bool DecodeCacheEntry(Decoder* dec, cache::ExportedEntry* out) {
+  int32_t outcome = 0;
+  uint8_t decisive = 0;
+  if (!dec->GetI64(&out->universe) || !dec->GetI32(&out->kind) ||
+      !dec->GetI32(&out->lo) || !dec->GetI32(&out->hi) ||
+      !dec->GetI32(&outcome) || !dec->GetU8(&decisive) ||
+      !dec->GetDouble(&out->entry.alpha) || !dec->GetI64(&out->entry.count) ||
+      !dec->GetDouble(&out->entry.mean) || !dec->GetDouble(&out->entry.m2) ||
+      !dec->GetI64(&out->entry.first_stage_count) ||
+      !dec->GetDouble(&out->entry.first_stage_sd)) {
+    return false;
+  }
+  if (outcome < 0 || outcome > 2) return false;
+  out->entry.outcome = static_cast<crowd::ComparisonOutcome>(outcome);
+  out->entry.decisive = decisive != 0;
+  return true;
+}
+
+std::string EncodeCacheInsert(const cache::ExportedEntry& entry) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(RecordType::kCacheInsert));
+  EncodeCacheEntry(entry, &enc);
+  return enc.Take();
+}
+
+std::string EncodeBarrier(const BarrierRecord& record) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(RecordType::kBarrier));
+  enc.PutI64(record.barrier);
+  enc.PutI64(record.round);
+  enc.PutDouble(record.now_seconds);
+  enc.PutI64(record.next_arrival);
+  enc.PutI64(record.done);
+  enc.PutU64(record.digest);
+  return enc.Take();
+}
+
+bool DecodeRecord(const std::string& payload, WalRecord* out) {
+  Decoder dec(payload);
+  uint8_t type = 0;
+  if (!dec.GetU8(&type)) return false;
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kAdmit:
+      out->type = RecordType::kAdmit;
+      return dec.GetI64(&out->query_id) && dec.remaining() == 0;
+    case RecordType::kReject:
+      out->type = RecordType::kReject;
+      return dec.GetI64(&out->query_id) && dec.remaining() == 0;
+    case RecordType::kComplete: {
+      out->type = RecordType::kComplete;
+      CompleteRecord& c = out->complete;
+      uint32_t item_count = 0;
+      if (!dec.GetI64(&c.query_id) || !dec.GetU32(&c.status_code) ||
+          !dec.GetI64(&c.total_microtasks) || !dec.GetI64(&c.rounds_private) ||
+          !dec.GetDouble(&c.precision_at_k) || !dec.GetU32(&item_count)) {
+        return false;
+      }
+      c.items.resize(item_count);
+      for (uint32_t i = 0; i < item_count; ++i) {
+        if (!dec.GetI32(&c.items[i])) return false;
+      }
+      return dec.remaining() == 0;
+    }
+    case RecordType::kCacheInsert:
+      out->type = RecordType::kCacheInsert;
+      return DecodeCacheEntry(&dec, &out->cache_insert) &&
+             dec.remaining() == 0;
+    case RecordType::kBarrier: {
+      out->type = RecordType::kBarrier;
+      BarrierRecord& b = out->barrier;
+      return dec.GetI64(&b.barrier) && dec.GetI64(&b.round) &&
+             dec.GetDouble(&b.now_seconds) && dec.GetI64(&b.next_arrival) &&
+             dec.GetI64(&b.done) && dec.GetU64(&b.digest) &&
+             dec.remaining() == 0;
+    }
+    default:
+      return false;
+  }
+}
+
+std::string WalSegmentName(int64_t seq) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "wal-%08" PRId64 ".log", seq);
+  return name;
+}
+
+std::string SnapshotName(int64_t barrier) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "snapshot-%010" PRId64 ".snap", barrier);
+  return name;
+}
+
+namespace {
+
+bool ParseNumericName(const std::string& name, const std::string& prefix,
+                      const std::string& suffix, int64_t* value) {
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  int64_t parsed = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    parsed = parsed * 10 + (name[i] - '0');
+  }
+  *value = parsed;
+  return true;
+}
+
+}  // namespace
+
+bool ParseWalSegmentName(const std::string& name, int64_t* seq) {
+  return ParseNumericName(name, "wal-", ".log", seq);
+}
+
+bool ParseSnapshotName(const std::string& name, int64_t* barrier) {
+  return ParseNumericName(name, "snapshot-", ".snap", barrier);
+}
+
+}  // namespace crowdtopk::persist

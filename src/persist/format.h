@@ -1,0 +1,187 @@
+// On-disk format of the durable-state subsystem.
+//
+// Two artifact kinds live in CROWDTOPK_PERSIST_DIR (docs/PERSISTENCE.md):
+//
+//   wal-<seq>.log        write-ahead log segments. A fixed header
+//                        (magic, version, segment index) followed by
+//                        length-prefixed records, each independently
+//                        CRC32-protected:
+//                            [u32 payload_len][u32 crc32][payload]
+//                        A record whose length or checksum does not verify
+//                        marks the torn tail: replay keeps everything
+//                        before it and reports everything after it as
+//                        dropped — never a crash, never silent corruption.
+//
+//   snapshot-<barrier>.snap
+//                        full state image at one quiescence barrier:
+//                        header (magic, version, flags, payload length,
+//                        CRC32) + payload. Written atomically
+//                        (util::WriteFileAtomic), so a reader sees either
+//                        a complete snapshot or none.
+//
+// All integers are little-endian fixed width; doubles are stored as their
+// IEEE-754 bit patterns, so a restored value is bit-exact — the same
+// contract the judgment cache's Welford Restore path relies on.
+//
+// Record payloads start with a RecordType byte. Event records (admit /
+// reject / complete / cache-insert) describe what happened since the
+// previous barrier; a kBarrier record seals the batch and carries the
+// running FNV-1a digest of every event payload so far, which is what
+// recovery verifies catch-up re-execution against.
+
+#ifndef CROWDTOPK_PERSIST_FORMAT_H_
+#define CROWDTOPK_PERSIST_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cache/judgment_cache.h"
+
+namespace crowdtopk::persist {
+
+inline constexpr uint64_t kWalMagic = 0x31304c4157344b54ULL;   // "TK4WAL01"
+inline constexpr uint64_t kSnapshotMagic = 0x50414e53344b54ULL;  // "TK4SNAP\0"
+inline constexpr uint32_t kFormatVersion = 1;
+
+// Snapshot header flag: the run this snapshot closes finished cleanly.
+inline constexpr uint32_t kSnapshotFlagComplete = 1u << 0;
+
+enum class RecordType : uint8_t {
+  kAdmit = 1,        // query admitted into an in-flight slot
+  kReject = 2,       // query bounced at admission (queue overflow)
+  kComplete = 3,     // query finished; durable outcome summary attached
+  kCacheInsert = 4,  // one staged judgment-cache insert applied at a barrier
+  kBarrier = 5,      // seals the batch; carries the chained state digest
+};
+
+// Durable outcome summary of a finished query (the fields a warm restart
+// must not lose; timing fields re-derive deterministically from replay).
+struct CompleteRecord {
+  int64_t query_id = 0;
+  uint32_t status_code = 0;  // util::StatusCode
+  int64_t total_microtasks = 0;
+  int64_t rounds_private = 0;
+  double precision_at_k = 0.0;
+  std::vector<int32_t> items;
+};
+
+// Seals one quiescence barrier.
+struct BarrierRecord {
+  int64_t barrier = 0;       // 0-based barrier sequence number
+  int64_t round = 0;         // scheduler's global round counter
+  double now_seconds = 0.0;  // simulated clock (bit-exact)
+  int64_t next_arrival = 0;  // arrivals consumed from the trace
+  int64_t done = 0;          // queries finished or rejected
+  uint64_t digest = 0;       // chained FNV-1a over all event payloads
+};
+
+// One decoded WAL record; `type` says which member is meaningful.
+struct WalRecord {
+  RecordType type = RecordType::kBarrier;
+  int64_t query_id = 0;               // kAdmit / kReject
+  CompleteRecord complete;            // kComplete
+  cache::ExportedEntry cache_insert;  // kCacheInsert
+  BarrierRecord barrier;              // kBarrier
+};
+
+// ----- byte-level codec ---------------------------------------------------
+
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutBytes(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutBytes(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutBytes(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutBytes(&v, sizeof(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutString(const std::string& v) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    buffer_.append(v);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  void PutBytes(const void* data, size_t size) {
+    // Little-endian hosts only (the toolchains this repo targets); memcpy
+    // keeps the accessors free of alignment traps.
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  std::string buffer_;
+};
+
+// Bounds-checked reader; every getter returns false on overrun and the
+// caller treats that as corruption.
+class Decoder {
+ public:
+  Decoder(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::string& data)
+      : Decoder(data.data(), data.size()) {}
+
+  bool GetU8(uint8_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetI32(int32_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetI64(int64_t* v) { return GetBytes(v, sizeof(*v)); }
+  bool GetDouble(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool GetString(std::string* v) {
+    uint32_t size;
+    if (!GetU32(&size) || size_ - offset_ < size) return false;
+    v->assign(data_ + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - offset_; }
+
+ private:
+  bool GetBytes(void* out, size_t size) {
+    if (size_ - offset_ < size) return false;
+    std::memcpy(out, data_ + offset_, size);
+    offset_ += size;
+    return true;
+  }
+  const char* data_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+// ----- record payload codecs ---------------------------------------------
+
+std::string EncodeAdmit(int64_t query_id);
+std::string EncodeReject(int64_t query_id);
+std::string EncodeComplete(const CompleteRecord& record);
+std::string EncodeCacheInsert(const cache::ExportedEntry& entry);
+std::string EncodeBarrier(const BarrierRecord& record);
+
+// Decodes one record payload (type byte included). False on malformed.
+bool DecodeRecord(const std::string& payload, WalRecord* out);
+
+// Serialises / parses a cache entry body (shared by WAL records and the
+// snapshot's cache image).
+void EncodeCacheEntry(const cache::ExportedEntry& entry, Encoder* enc);
+bool DecodeCacheEntry(Decoder* dec, cache::ExportedEntry* out);
+
+// File names inside the persist directory.
+std::string WalSegmentName(int64_t seq);
+std::string SnapshotName(int64_t barrier);
+// Parses the numeric id out of a wal-/snapshot- name; false when `name` is
+// not one of ours.
+bool ParseWalSegmentName(const std::string& name, int64_t* seq);
+bool ParseSnapshotName(const std::string& name, int64_t* barrier);
+
+}  // namespace crowdtopk::persist
+
+#endif  // CROWDTOPK_PERSIST_FORMAT_H_

@@ -1,0 +1,207 @@
+#include "persist/snapshot.h"
+
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/file_io.h"
+
+namespace crowdtopk::persist {
+
+namespace {
+
+// Snapshot file layout:
+//   [u64 magic][u32 version][u32 flags][u32 payload_len][u32 crc32][payload]
+constexpr size_t kSnapshotHeaderSize = 8 + 4 + 4 + 4 + 4;
+
+void EncodeBarrierFields(const BarrierRecord& barrier, Encoder* enc) {
+  enc->PutI64(barrier.barrier);
+  enc->PutI64(barrier.round);
+  enc->PutDouble(barrier.now_seconds);
+  enc->PutI64(barrier.next_arrival);
+  enc->PutI64(barrier.done);
+  enc->PutU64(barrier.digest);
+}
+
+bool DecodeBarrierFields(Decoder* dec, BarrierRecord* barrier) {
+  return dec->GetI64(&barrier->barrier) && dec->GetI64(&barrier->round) &&
+         dec->GetDouble(&barrier->now_seconds) &&
+         dec->GetI64(&barrier->next_arrival) && dec->GetI64(&barrier->done) &&
+         dec->GetU64(&barrier->digest);
+}
+
+void EncodeCompleteFields(const CompleteRecord& record, Encoder* enc) {
+  enc->PutI64(record.query_id);
+  enc->PutU32(record.status_code);
+  enc->PutI64(record.total_microtasks);
+  enc->PutI64(record.rounds_private);
+  enc->PutDouble(record.precision_at_k);
+  enc->PutU32(static_cast<uint32_t>(record.items.size()));
+  for (const int32_t item : record.items) enc->PutI32(item);
+}
+
+bool DecodeCompleteFields(Decoder* dec, CompleteRecord* record) {
+  uint32_t item_count = 0;
+  if (!dec->GetI64(&record->query_id) || !dec->GetU32(&record->status_code) ||
+      !dec->GetI64(&record->total_microtasks) ||
+      !dec->GetI64(&record->rounds_private) ||
+      !dec->GetDouble(&record->precision_at_k) || !dec->GetU32(&item_count)) {
+    return false;
+  }
+  record->items.resize(item_count);
+  for (uint32_t i = 0; i < item_count; ++i) {
+    if (!dec->GetI32(&record->items[i])) return false;
+  }
+  return true;
+}
+
+std::string EncodePayload(const SnapshotData& data, uint64_t cache_digest) {
+  Encoder enc;
+  EncodeBarrierFields(data.barrier, &enc);
+  enc.PutU64(data.config_fingerprint);
+  enc.PutI64(data.next_wal_segment);
+
+  enc.PutU32(static_cast<uint32_t>(data.queued.size()));
+  for (const int64_t id : data.queued) enc.PutI64(id);
+
+  enc.PutU32(static_cast<uint32_t>(data.inflight.size()));
+  for (const InflightDescriptor& d : data.inflight) {
+    enc.PutI64(d.query_id);
+    enc.PutI64(d.admitted_round);
+    enc.PutI64(d.expired_assignments);
+    enc.PutI64(d.requeued_assignments);
+  }
+
+  enc.PutU32(static_cast<uint32_t>(data.completed.size()));
+  for (const CompleteRecord& record : data.completed) {
+    EncodeCompleteFields(record, &enc);
+  }
+
+  enc.PutU32(static_cast<uint32_t>(data.rejected.size()));
+  for (const int64_t id : data.rejected) enc.PutI64(id);
+
+  enc.PutU32(static_cast<uint32_t>(data.cache_entries.size()));
+  for (const cache::ExportedEntry& entry : data.cache_entries) {
+    EncodeCacheEntry(entry, &enc);
+  }
+  enc.PutU64(cache_digest);
+  return enc.Take();
+}
+
+bool DecodePayload(const std::string& payload, SnapshotData* out) {
+  Decoder dec(payload);
+  if (!DecodeBarrierFields(&dec, &out->barrier) ||
+      !dec.GetU64(&out->config_fingerprint) ||
+      !dec.GetI64(&out->next_wal_segment)) {
+    return false;
+  }
+
+  uint32_t count = 0;
+  if (!dec.GetU32(&count)) return false;
+  out->queued.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!dec.GetI64(&out->queued[i])) return false;
+  }
+
+  if (!dec.GetU32(&count)) return false;
+  out->inflight.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    InflightDescriptor& d = out->inflight[i];
+    if (!dec.GetI64(&d.query_id) || !dec.GetI64(&d.admitted_round) ||
+        !dec.GetI64(&d.expired_assignments) ||
+        !dec.GetI64(&d.requeued_assignments)) {
+      return false;
+    }
+  }
+
+  if (!dec.GetU32(&count)) return false;
+  out->completed.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!DecodeCompleteFields(&dec, &out->completed[i])) return false;
+  }
+
+  if (!dec.GetU32(&count)) return false;
+  out->rejected.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!dec.GetI64(&out->rejected[i])) return false;
+  }
+
+  if (!dec.GetU32(&count)) return false;
+  out->cache_entries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!DecodeCacheEntry(&dec, &out->cache_entries[i])) return false;
+  }
+  return dec.GetU64(&out->cache_digest) && dec.remaining() == 0;
+}
+
+}  // namespace
+
+uint64_t CacheImageDigest(const std::vector<cache::ExportedEntry>& entries) {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const cache::ExportedEntry& entry : entries) {
+    EncodeCacheEntry(entry, &enc);
+  }
+  return util::Fnv1a64(enc.buffer());
+}
+
+util::Status WriteSnapshot(const std::string& path, const SnapshotData& data,
+                           int64_t* bytes_written) {
+  const uint64_t cache_digest = CacheImageDigest(data.cache_entries);
+  const std::string payload = EncodePayload(data, cache_digest);
+  Encoder header;
+  header.PutU64(kSnapshotMagic);
+  header.PutU32(kFormatVersion);
+  header.PutU32(data.complete ? kSnapshotFlagComplete : 0);
+  header.PutU32(static_cast<uint32_t>(payload.size()));
+  header.PutU32(util::Crc32(payload));
+  std::string bytes = header.Take();
+  bytes.append(payload);
+  if (bytes_written != nullptr) {
+    *bytes_written = static_cast<int64_t>(bytes.size());
+  }
+  return util::WriteFileAtomic(path, bytes);
+}
+
+util::Status ReadSnapshot(const std::string& path, SnapshotData* out) {
+  std::string bytes;
+  CROWDTOPK_RETURN_IF_ERROR(util::ReadFileToString(path, &bytes));
+  Decoder dec(bytes);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+  if (!dec.GetU64(&magic) || !dec.GetU32(&version) || !dec.GetU32(&flags) ||
+      !dec.GetU32(&payload_len) || !dec.GetU32(&crc)) {
+    return util::Status::InvalidArgument("snapshot truncated: " + path);
+  }
+  if (magic != kSnapshotMagic) {
+    return util::Status::InvalidArgument("snapshot bad magic: " + path);
+  }
+  if (version != kFormatVersion) {
+    return util::Status::InvalidArgument("snapshot unsupported version: " +
+                                         path);
+  }
+  if (dec.remaining() != payload_len) {
+    return util::Status::InvalidArgument("snapshot length mismatch: " + path);
+  }
+  const std::string payload = bytes.substr(kSnapshotHeaderSize);
+  if (util::Crc32(payload) != crc) {
+    return util::Status::InvalidArgument("snapshot checksum mismatch: " +
+                                         path);
+  }
+  SnapshotData data;
+  if (!DecodePayload(payload, &data)) {
+    return util::Status::InvalidArgument("snapshot payload malformed: " +
+                                         path);
+  }
+  if (CacheImageDigest(data.cache_entries) != data.cache_digest) {
+    return util::Status::InvalidArgument("snapshot cache digest mismatch: " +
+                                         path);
+  }
+  data.complete = (flags & kSnapshotFlagComplete) != 0;
+  *out = std::move(data);
+  return util::Status::Ok();
+}
+
+}  // namespace crowdtopk::persist

@@ -1,5 +1,6 @@
 #include "serve/query_service.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <deque>
@@ -7,11 +8,13 @@
 #include <unordered_map>
 
 #include "cache/cache_client.h"
+#include "persist/format.h"
 #include "metrics/ranking_metrics.h"
 #include "metrics/trace_aggregate.h"
 #include "serve/async_platform.h"
 #include "telemetry/export.h"
 #include "util/check.h"
+#include "util/crc32.h"
 #include "util/random.h"
 
 namespace crowdtopk::serve {
@@ -29,6 +32,47 @@ std::string FileToken(const std::string& name) {
                  : '_';
   }
   return token.empty() ? "algo" : token;
+}
+
+// Everything that shapes the replay's outcomes goes into the persist
+// manifest fingerprint: resuming under a different configuration would
+// re-execute a *different* deterministic function and silently diverge
+// from the durable records. jobs and trace_dir are excluded on purpose —
+// they never change results, and resuming with a different worker count
+// is an explicitly supported (and tested) case.
+uint64_t ConfigFingerprint(const ServeOptions& options,
+                           const std::vector<QueryRequest>& requests,
+                           const std::vector<double>& arrivals) {
+  persist::Encoder enc;
+  enc.PutU64(options.seed);
+  enc.PutI64(options.schedule.crowd_workers);
+  enc.PutI64(options.schedule.per_pair_batch);
+  enc.PutDouble(options.schedule.mean_pickup_seconds);
+  enc.PutDouble(options.schedule.mean_task_seconds);
+  enc.PutDouble(options.schedule.task_time_sigma);
+  enc.PutDouble(options.schedule.abandon_probability);
+  enc.PutDouble(options.schedule.no_show_probability);
+  enc.PutDouble(options.schedule.deadline_seconds);
+  enc.PutI64(options.schedule.max_attempts);
+  enc.PutI64(options.max_inflight);
+  enc.PutI64(options.max_queue);
+  enc.PutU8(options.cache.enabled ? 1 : 0);
+  enc.PutI64(options.cache.capacity);
+  enc.PutU8(options.cache.transitivity ? 1 : 0);
+  enc.PutU32(static_cast<uint32_t>(options.warm_cache.size()));
+  for (const cache::ExportedEntry& entry : options.warm_cache) {
+    persist::EncodeCacheEntry(entry, &enc);
+  }
+  enc.PutU32(static_cast<uint32_t>(requests.size()));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    enc.PutI64(requests[i].k);
+    enc.PutI64(requests[i].cache_universe);
+    enc.PutString(requests[i].algorithm->name());
+    enc.PutU32(static_cast<uint32_t>(requests[i].cache_item_ids.size()));
+    for (const crowd::ItemId id : requests[i].cache_item_ids) enc.PutI32(id);
+    enc.PutDouble(arrivals[i]);
+  }
+  return util::Fnv1a64(enc.buffer());
 }
 
 }  // namespace
@@ -91,6 +135,25 @@ std::vector<QueryOutcome> QueryService::Replay(
       if (inserted) ++next_universe;
       universes_[i] = it->second;
     }
+    if (!options_.warm_cache.empty()) {
+      cache_->RestoreEntries(options_.warm_cache);
+    }
+  }
+
+  // Durable state: open (or recover) the persist directory. Failures are
+  // availability-first — the replay still runs and completes, the error is
+  // surfaced through persist_status() so callers can refuse to trust the
+  // directory afterwards.
+  if (!options_.persist.dir.empty()) {
+    persist_ = std::make_unique<persist::PersistenceManager>(
+        options_.persist, ConfigFingerprint(options_, requests, arrivals));
+    persist_status_ = persist_->Open();
+    if (!persist_status_.ok()) {
+      std::fprintf(stderr,
+                   "crowdtopk persist: %s; replaying without persistence\n",
+                   persist_status_.ToString().c_str());
+      persist_.reset();
+    }
   }
 
   std::vector<std::thread> drivers;
@@ -99,6 +162,40 @@ std::vector<QueryOutcome> QueryService::Replay(
   int64_t next_arrival = 0;
   int64_t inflight = 0;
   int64_t done = 0;
+
+  // Admission bookkeeping mirrored for the snapshot image (service-thread
+  // only; cheap even with persistence off).
+  std::vector<int64_t> inflight_ids;
+  std::vector<int64_t> rejected_ids;
+  std::vector<persist::CompleteRecord> completed_records;
+
+  // Builds the durable image at the current quiescence barrier; the
+  // manager fills in position, fingerprint, and segment fields.
+  const auto snapshot_source = [&]() {
+    persist::SnapshotData data;
+    data.queued.assign(admission.begin(), admission.end());
+    std::vector<int64_t> ids = inflight_ids;
+    std::sort(ids.begin(), ids.end());
+    for (const int64_t id : ids) {
+      const QueryServeStats stats = scheduler_->QueryStats(id);
+      persist::InflightDescriptor d;
+      d.query_id = id;
+      d.admitted_round = stats.admitted_round;
+      d.expired_assignments = stats.expired_assignments;
+      d.requeued_assignments = stats.requeued_assignments;
+      data.inflight.push_back(d);
+    }
+    data.completed = completed_records;
+    std::sort(data.completed.begin(), data.completed.end(),
+              [](const persist::CompleteRecord& a,
+                 const persist::CompleteRecord& b) {
+                return a.query_id < b.query_id;
+              });
+    data.rejected = rejected_ids;
+    std::sort(data.rejected.begin(), data.rejected.end());
+    if (cache_ != nullptr) data.cache_entries = cache_->Export();
+    return data;
+  };
 
   while (done < n) {
     // Move due arrivals into the admission queue (or reject on overflow).
@@ -113,6 +210,8 @@ std::vector<QueryOutcome> QueryService::Replay(
             "admission queue full (max_queue=" +
             std::to_string(options_.max_queue) + ")");
         ++done;
+        rejected_ids.push_back(id);
+        if (persist_ != nullptr) persist_->OnReject(id);
         continue;
       }
       admission.push_back(id);
@@ -124,17 +223,64 @@ std::vector<QueryOutcome> QueryService::Replay(
       admission.pop_front();
       scheduler_->AdmitQuery(id);
       ++inflight;
+      inflight_ids.push_back(id);
+      if (persist_ != nullptr) persist_->OnAdmit(id);
       drivers.emplace_back([this, id] { DriverMain(id); });
     }
 
     scheduler_->WaitQuiescent();
     // All drivers are parked or finished here: apply this round's staged
-    // cache inserts so the next round's lookups see them.
-    if (cache_ != nullptr) cache_->CommitPending();
-    const std::vector<int64_t> finished = scheduler_->DrainFinished();
+    // cache inserts so the next round's lookups see them. The applied list
+    // (query-id order) is exactly the WAL's cache-insert sequence.
+    if (cache_ != nullptr) {
+      std::vector<cache::ExportedEntry> applied;
+      cache_->CommitPending(persist_ != nullptr ? &applied : nullptr);
+      for (const cache::ExportedEntry& entry : applied) {
+        persist_->OnCacheInsert(entry);
+      }
+    }
+    std::vector<int64_t> finished = scheduler_->DrainFinished();
     if (!finished.empty()) {
       inflight -= static_cast<int64_t>(finished.size());
       done += static_cast<int64_t>(finished.size());
+      // DrainFinished returns completion-callback order, which depends on
+      // thread timing; everything downstream (WAL events, snapshots) wants
+      // the deterministic query-id order.
+      std::sort(finished.begin(), finished.end());
+      for (const int64_t id : finished) {
+        inflight_ids.erase(
+            std::find(inflight_ids.begin(), inflight_ids.end(), id));
+        persist::CompleteRecord record;
+        record.query_id = id;
+        record.status_code =
+            static_cast<uint32_t>(scheduler_->QueryStats(id).status.code());
+        const QueryOutcome& o = outcomes_[id];
+        record.total_microtasks = o.total_microtasks;
+        record.rounds_private = o.rounds_private;
+        record.precision_at_k = o.precision_at_k;
+        record.items.assign(o.items.begin(), o.items.end());
+        completed_records.push_back(record);
+        if (persist_ != nullptr) persist_->OnComplete(record);
+      }
+    }
+    // Quiescence barrier: seal this iteration's events. During catch-up
+    // this verifies the re-derived digest against the durable record;
+    // live, it appends one WAL batch (and maybe a snapshot).
+    if (persist_ != nullptr) {
+      const bool was_catchup = persist_->in_catchup();
+      const util::Status barrier_status =
+          persist_->OnBarrier(scheduler_->round(), scheduler_->now_seconds(),
+                              next_arrival, done, snapshot_source);
+      if (!barrier_status.ok() && persist_status_.ok()) {
+        persist_status_ = barrier_status;
+        std::fprintf(stderr, "crowdtopk persist: %s\n",
+                     barrier_status.ToString().c_str());
+      }
+      if (was_catchup && !persist_->in_catchup()) {
+        replayed_microtasks_ = scheduler_->assignment_stats().completed;
+      }
+    }
+    if (!finished.empty()) {
       continue;  // freed slots admit waiting queries before the next round
     }
     if (scheduler_->AnyParked()) {
@@ -148,8 +294,32 @@ std::vector<QueryOutcome> QueryService::Replay(
     }
   }
   for (std::thread& t : drivers) t.join();
-  // Final barrier: fold the last round's publications into the stats.
-  if (cache_ != nullptr) cache_->CommitPending();
+  // Final barrier: fold the last round's publications into the stats, seal
+  // them durably, and write the complete snapshot.
+  if (cache_ != nullptr) {
+    std::vector<cache::ExportedEntry> applied;
+    cache_->CommitPending(persist_ != nullptr ? &applied : nullptr);
+    for (const cache::ExportedEntry& entry : applied) {
+      persist_->OnCacheInsert(entry);
+    }
+  }
+  if (persist_ != nullptr) {
+    const bool was_catchup = persist_->in_catchup();
+    util::Status final_status =
+        persist_->OnBarrier(scheduler_->round(), scheduler_->now_seconds(),
+                            next_arrival, done, snapshot_source);
+    if (was_catchup && !persist_->in_catchup()) {
+      // The whole replay was catch-up (resume of an already-complete run).
+      replayed_microtasks_ = scheduler_->assignment_stats().completed;
+    }
+    if (final_status.ok()) final_status = persist_->Finalize(snapshot_source);
+    if (!final_status.ok() && persist_status_.ok()) {
+      persist_status_ = final_status;
+      std::fprintf(stderr, "crowdtopk persist: %s\n",
+                   final_status.ToString().c_str());
+    }
+    WritePersistTrace();
+  }
 
   for (int64_t id = 0; id < n; ++id) {
     QueryOutcome& o = outcomes_[id];
@@ -177,6 +347,52 @@ std::vector<QueryOutcome> QueryService::Replay(
 
 cache::CacheStats QueryService::cache_stats() const {
   return cache_ == nullptr ? cache::CacheStats() : cache_->stats();
+}
+
+persist::PersistCounters QueryService::persist_counters() const {
+  return persist_ == nullptr ? persist::PersistCounters()
+                             : persist_->counters();
+}
+
+void QueryService::WritePersistTrace() const {
+  telemetry::TraceRecorder recorder;
+  const persist::PersistCounters& c = persist_->counters();
+  const auto record = [&recorder](const char* name, int64_t value) {
+    recorder.RecordCounter(name, static_cast<double>(value));
+  };
+  record("persist/wal_records", c.wal_records);
+  record("persist/wal_bytes", c.wal_bytes);
+  record("persist/wal_segments", c.wal_segments);
+  record("persist/snapshots", c.snapshots);
+  record("persist/snapshot_bytes", c.snapshot_bytes);
+  record("persist/resumed", c.resumed);
+  record("persist/snapshot_loaded", c.snapshot_loaded);
+  record("persist/snapshots_skipped", c.snapshots_skipped);
+  record("persist/durable_barrier", c.durable_barrier);
+  record("persist/replayed_barriers", c.replayed_barriers);
+  record("persist/verified_barriers", c.verified_barriers);
+  record("persist/divergent_barriers", c.divergent_barriers);
+  record("persist/cache_image_verified", c.cache_image_verified);
+  record("persist/cache_image_divergent", c.cache_image_divergent);
+  record("persist/wal_records_recovered", c.wal_records_recovered);
+  record("persist/wal_records_dropped", c.wal_records_dropped);
+  record("persist/wal_bytes_dropped", c.wal_bytes_dropped);
+  record("persist/wal_truncated", c.wal_truncated);
+  record("persist/replayed_microtasks", replayed_microtasks_);
+  if (cache_ != nullptr) {
+    const cache::CacheStats cs = cache_->stats();
+    record("cache/restored", cs.restored);
+    for (const auto& [universe, dropped] : cs.dropped_by_universe) {
+      record(("cache/universe" + std::to_string(universe) + "/dropped")
+                 .c_str(),
+             dropped);
+    }
+  }
+  const util::Status status = telemetry::WriteJsonlFile(
+      recorder.events(), options_.persist.dir + "/persist.trace.jsonl");
+  if (!status.ok()) {
+    std::fprintf(stderr, "persist trace: %s\n", status.ToString().c_str());
+  }
 }
 
 void QueryService::DriverMain(int64_t query_id) {

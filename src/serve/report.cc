@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "util/check.h"
+#include "util/file_io.h"
 
 namespace crowdtopk::serve {
 namespace {
@@ -17,6 +18,22 @@ std::string Line(const char* format, ...) {
   std::vsnprintf(buffer, sizeof(buffer), format, args);
   va_end(args);
   return buffer;
+}
+
+// Unbounded variant for the JSONL records, whose lines outgrow Line()'s
+// fixed buffer (the summary alone is ~700 bytes).
+void AppendFormat(std::string* out, const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, copy);
+  va_end(copy);
+  CROWDTOPK_CHECK_GE(needed, 0);
+  std::string line(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(line.data(), static_cast<size_t>(needed) + 1, format, args);
+  va_end(args);
+  out->append(line);
 }
 
 }  // namespace
@@ -108,6 +125,70 @@ std::string RenderServeReport(const ServeReport& r) {
   out += Line("mean precision@k   %.4f (completed queries)\n",
               r.mean_precision);
   return out;
+}
+
+std::string RenderServeReportJsonl(const ServeReport& r,
+                                   const std::vector<QueryOutcome>& outcomes) {
+  std::string out;
+  AppendFormat(
+      &out,
+      "{\"record\":\"summary\",\"queries\":%lld,\"completed\":%lld,"
+      "\"failed\":%lld,\"rejected\":%lld,\"makespan_seconds\":%.6f,"
+      "\"total_rounds\":%lld,\"throughput_per_hour\":%.6f,"
+      "\"total_microtasks\":%lld,\"mean_queue_wait_seconds\":%.6f,"
+      "\"mean_precision\":%.6f,\"p50_rounds\":%.6f,\"p95_rounds\":%.6f,"
+      "\"p99_rounds\":%.6f,\"p50_seconds\":%.6f,\"p95_seconds\":%.6f,"
+      "\"p99_seconds\":%.6f,\"assignments_scheduled\":%lld,"
+      "\"assignments_completed\":%lld,\"assignments_expired\":%lld,"
+      "\"assignments_requeued\":%lld,\"assignments_failed\":%lld}\n",
+      static_cast<long long>(r.queries), static_cast<long long>(r.completed),
+      static_cast<long long>(r.failed), static_cast<long long>(r.rejected),
+      r.makespan_seconds, static_cast<long long>(r.total_rounds),
+      r.throughput_per_hour, static_cast<long long>(r.total_microtasks),
+      r.mean_queue_wait_seconds, r.mean_precision, r.p50_rounds, r.p95_rounds,
+      r.p99_rounds, r.p50_seconds, r.p95_seconds, r.p99_seconds,
+      static_cast<long long>(r.assignments.scheduled),
+      static_cast<long long>(r.assignments.completed),
+      static_cast<long long>(r.assignments.expired),
+      static_cast<long long>(r.assignments.requeued),
+      static_cast<long long>(r.assignments.failed));
+  for (const QueryOutcome& o : outcomes) {
+    std::string items = "[";
+    for (size_t i = 0; i < o.items.size(); ++i) {
+      if (i > 0) items += ",";
+      items += std::to_string(o.items[i]);
+    }
+    items += "]";
+    AppendFormat(
+        &out,
+        "{\"record\":\"query\",\"query_id\":%lld,\"algorithm\":\"%s\","
+        "\"status\":\"%s\",\"arrival_seconds\":%.6f,\"start_seconds\":%.6f,"
+        "\"finish_seconds\":%.6f,\"latency_seconds\":%.6f,"
+        "\"rounds_observed\":%lld,\"rounds_private\":%lld,"
+        "\"total_microtasks\":%lld,\"expired_assignments\":%lld,"
+        "\"requeued_assignments\":%lld,\"precision_at_k\":%.6f,"
+        "\"cache_hits\":%lld,\"cache_topups\":%lld,\"cache_inferred\":%lld,"
+        "\"cache_misses\":%lld,\"items\":%s}\n",
+        static_cast<long long>(o.query_id), o.algorithm.c_str(),
+        o.rejected ? "REJECTED" : (o.status.ok() ? "OK" : "FAILED"),
+        o.arrival_seconds, o.start_seconds, o.finish_seconds,
+        o.latency_seconds, static_cast<long long>(o.rounds_observed),
+        static_cast<long long>(o.rounds_private),
+        static_cast<long long>(o.total_microtasks),
+        static_cast<long long>(o.expired_assignments),
+        static_cast<long long>(o.requeued_assignments), o.precision_at_k,
+        static_cast<long long>(o.cache_hits),
+        static_cast<long long>(o.cache_topups),
+        static_cast<long long>(o.cache_inferred),
+        static_cast<long long>(o.cache_misses), items.c_str());
+  }
+  return out;
+}
+
+util::Status WriteServeReportJsonl(const ServeReport& report,
+                                   const std::vector<QueryOutcome>& outcomes,
+                                   const std::string& path) {
+  return util::WriteFileAtomic(path, RenderServeReportJsonl(report, outcomes));
 }
 
 std::string RenderQueryTable(const std::vector<QueryOutcome>& outcomes) {

@@ -57,6 +57,19 @@ std::string RenderServeReport(const ServeReport& report);
 // dump and by the bit-identity tests.
 std::string RenderQueryTable(const std::vector<QueryOutcome>& outcomes);
 
+// Machine-readable report: one {"record":"summary",...} line followed by
+// one {"record":"query",...} line per outcome in trace order. Fixed key
+// order, %.6f doubles, no locale — byte-deterministic, which is what the
+// crash-recovery CI job byte-diffs and the golden-file test pins. Schema
+// changes must update tests/golden/serve_report.jsonl deliberately.
+std::string RenderServeReportJsonl(const ServeReport& report,
+                                   const std::vector<QueryOutcome>& outcomes);
+
+// Renders and writes atomically to `path`.
+util::Status WriteServeReportJsonl(const ServeReport& report,
+                                   const std::vector<QueryOutcome>& outcomes,
+                                   const std::string& path);
+
 }  // namespace crowdtopk::serve
 
 #endif  // CROWDTOPK_SERVE_REPORT_H_

@@ -1,0 +1,46 @@
+#include "util/crc32.h"
+
+namespace crowdtopk::util {
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const Crc32Table& table = Table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace crowdtopk::util

@@ -1,7 +1,9 @@
 #include "util/env.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -10,6 +12,8 @@
 namespace crowdtopk::util {
 
 namespace {
+
+std::atomic<int64_t> env_warnings{0};
 
 // Numeric env values must parse in full: "4x" silently becoming 4 hides
 // typos in knobs like CROWDTOPK_JOBS. Rejected values fall back to the
@@ -21,6 +25,7 @@ void WarnBadValueOnce(const std::string& name, const char* value,
   static std::set<std::string>* warned = new std::set<std::string>();
   std::lock_guard<std::mutex> lock(mutex);
   if (!warned->insert(name).second) return;
+  env_warnings.fetch_add(1, std::memory_order_relaxed);
   std::fprintf(stderr,
                "crowdtopk: ignoring %s='%s' (not a valid %s); "
                "using the built-in default\n",
@@ -42,8 +47,11 @@ int64_t GetEnvInt64(const std::string& name, int64_t fallback) {
   const char* value = std::getenv(name.c_str());
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(value, &end, 10);
-  if (end == value || !OnlyTrailingWhitespace(end)) {
+  // An out-of-range value (strtoll clamps and sets ERANGE) is as much a
+  // typo as trailing garbage: reject it instead of silently saturating.
+  if (end == value || !OnlyTrailingWhitespace(end) || errno == ERANGE) {
     WarnBadValueOnce(name, value, "integer");
     return fallback;
   }
@@ -54,8 +62,9 @@ double GetEnvDouble(const std::string& name, double fallback) {
   const char* value = std::getenv(name.c_str());
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(value, &end);
-  if (end == value || !OnlyTrailingWhitespace(end)) {
+  if (end == value || !OnlyTrailingWhitespace(end) || errno == ERANGE) {
     WarnBadValueOnce(name, value, "number");
     return fallback;
   }
@@ -114,6 +123,26 @@ int64_t CacheCapacity() {
 bool CacheTransitivity() {
   return GetEnvBool("CROWDTOPK_CACHE_TRANSITIVITY", false);
 }
+
+std::string PersistDir() { return GetEnvString("CROWDTOPK_PERSIST_DIR", ""); }
+
+int64_t SnapshotEvery() { return GetEnvInt64("CROWDTOPK_SNAPSHOT_EVERY", 8); }
+
+bool WalFsync() { return GetEnvBool("CROWDTOPK_WAL_FSYNC", true); }
+
+int64_t WalSegmentBytes() {
+  return GetEnvInt64("CROWDTOPK_WAL_SEGMENT_BYTES", int64_t{1} << 20);
+}
+
+int64_t PersistKillBarrier() {
+  return GetEnvInt64("CROWDTOPK_PERSIST_KILL_BARRIER", -1);
+}
+
+namespace internal {
+int64_t EnvWarningCountForTest() {
+  return env_warnings.load(std::memory_order_relaxed);
+}
+}  // namespace internal
 
 std::string ProgramName() {
   std::FILE* comm = std::fopen("/proc/self/comm", "r");

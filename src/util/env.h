@@ -86,6 +86,37 @@ int64_t CacheCapacity();
 // confidence composition rule). Off by default.
 bool CacheTransitivity();
 
+// ----- durable-state knobs (src/persist, docs/PERSISTENCE.md) -----------
+
+// Directory snapshots and the write-ahead log are kept in
+// (CROWDTOPK_PERSIST_DIR). Empty (the default) disables persistence.
+std::string PersistDir();
+
+// Quiescence barriers between snapshots (CROWDTOPK_SNAPSHOT_EVERY, default
+// 8). <= 0 writes only the final completion snapshot.
+int64_t SnapshotEvery();
+
+// CROWDTOPK_WAL_FSYNC (default 1) forces every barrier's WAL append to
+// stable storage with fdatasync before the barrier is acknowledged; =0
+// trades durability of the last few barriers for speed.
+bool WalFsync();
+
+// WAL segment rotation threshold in bytes (CROWDTOPK_WAL_SEGMENT_BYTES,
+// default 1 MiB). Mostly a test knob: tiny values force multi-segment logs.
+int64_t WalSegmentBytes();
+
+// Crash-injection point (CROWDTOPK_PERSIST_KILL_BARRIER, default -1 = off):
+// the serving layer calls _Exit(137) immediately after making barrier N
+// durable, simulating a hard kill for the recovery CI jobs.
+int64_t PersistKillBarrier();
+
+namespace internal {
+// Total strict-parse warnings emitted so far by GetEnvInt64/GetEnvDouble.
+// Exposed so tests can assert the warn-once-per-variable contract without
+// scraping stderr.
+int64_t EnvWarningCountForTest();
+}  // namespace internal
+
 }  // namespace crowdtopk::util
 
 #endif  // CROWDTOPK_UTIL_ENV_H_

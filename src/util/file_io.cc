@@ -1,0 +1,171 @@
+#include "util/file_io.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace crowdtopk::util {
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " " + path + ": " + std::strerror(errno));
+}
+
+// RAII fd so every early return closes.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Status WriteAll(int fd, const std::string& data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  // Create each prefix in turn; EEXIST at any level is fine.
+  for (size_t i = 1; i <= path.size(); ++i) {
+    if (i != path.size() && path[i] != '/') continue;
+    const std::string prefix = path.substr(0, i);
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument(path + " exists and is not a directory");
+  }
+  return Status::Ok();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  Fd file;
+  file.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file.fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path);
+    return Errno("open", path);
+  }
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(file.fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out->append(buffer, static_cast<size_t>(n));
+  }
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    Fd file;
+    file.fd = ::open(tmp.c_str(),
+                     O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (file.fd < 0) return Errno("open", tmp);
+    CROWDTOPK_RETURN_IF_ERROR(WriteAll(file.fd, data, tmp));
+    if (::fsync(file.fd) != 0) return Errno("fsync", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return Errno("rename", path);
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    return SyncDirectory(path.substr(0, slash));
+  }
+  return Status::Ok();
+}
+
+Status AppendToFile(const std::string& path, const std::string& data,
+                    bool fsync) {
+  Fd file;
+  file.fd = ::open(path.c_str(),
+                   O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (file.fd < 0) return Errno("open", path);
+  CROWDTOPK_RETURN_IF_ERROR(WriteAll(file.fd, data, path));
+  if (fsync && ::fdatasync(file.fd) != 0) return Errno("fdatasync", path);
+  return Status::Ok();
+}
+
+Status SyncFile(const std::string& path) {
+  Fd file;
+  file.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file.fd < 0) return Errno("open", path);
+  if (::fsync(file.fd) != 0) return Errno("fsync", path);
+  return Status::Ok();
+}
+
+Status SyncDirectory(const std::string& path) {
+  Fd dir;
+  dir.fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir.fd < 0) return Errno("open", path);
+  if (::fsync(dir.fd) != 0) return Errno("fsync", path);
+  return Status::Ok();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+Status ListDirectoryFiles(const std::string& dir,
+                          std::vector<std::string>* names) {
+  names->clear();
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) return Status::Ok();
+    return Errno("opendir", dir);
+  }
+  for (;;) {
+    errno = 0;
+    const struct dirent* entry = ::readdir(handle);
+    if (entry == nullptr) break;
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) != 0) continue;
+    if (S_ISREG(st.st_mode)) names->push_back(name);
+  }
+  ::closedir(handle);
+  std::sort(names->begin(), names->end());
+  return Status::Ok();
+}
+
+int64_t FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_size);
+}
+
+}  // namespace crowdtopk::util

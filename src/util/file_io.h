@@ -1,0 +1,60 @@
+// Small POSIX file helpers for the durable-state subsystem (src/persist).
+//
+// Everything returns util::Status instead of throwing, per the project
+// error-handling convention. The two properties the persistence layer needs
+// from this file are (a) *atomic publication* — WriteFileAtomic writes a
+// sibling temp file, fsyncs it, and rename(2)s it into place, so readers
+// never observe a half-written snapshot — and (b) *explicit durability* —
+// SyncFile/SyncDirectory expose fsync so the write-ahead log can force its
+// records (and the directory entries naming them) to stable storage before
+// acknowledging a barrier.
+
+#ifndef CROWDTOPK_UTIL_FILE_IO_H_
+#define CROWDTOPK_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdtopk::util {
+
+// Creates `path` (and missing parents) as a directory. Ok if it exists.
+Status EnsureDirectory(const std::string& path);
+
+// True when `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+// Reads the whole file into `out` (binary).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+// Writes `data` to `<path>.tmp`, fsyncs, renames onto `path`, and fsyncs
+// the parent directory, so `path` is either the old or the new content —
+// never a torn mix.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+// Appends `data` to `path` (creating it 0644 if absent). When `fsync` is
+// true the data is forced to stable storage before returning.
+Status AppendToFile(const std::string& path, const std::string& data,
+                    bool fsync);
+
+// fsyncs an existing file / directory (directory sync makes renames and
+// creations within it durable).
+Status SyncFile(const std::string& path);
+Status SyncDirectory(const std::string& path);
+
+// Removes one file; Ok when it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+// Regular-file names (not paths) directly inside `dir`, sorted ascending.
+// Missing directory yields an empty list and Ok.
+Status ListDirectoryFiles(const std::string& dir,
+                          std::vector<std::string>* names);
+
+// Size of `path` in bytes; -1 when it does not exist.
+int64_t FileSize(const std::string& path);
+
+}  // namespace crowdtopk::util
+
+#endif  // CROWDTOPK_UTIL_FILE_IO_H_

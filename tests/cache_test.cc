@@ -527,5 +527,75 @@ TEST(ServeCacheTest, SubsetQueriesShareThroughIdTranslation) {
   EXPECT_EQ(first_parents, second_parents);
 }
 
+// Capacity drops are attributed to the universe whose insert was refused,
+// ascending by universe id, and sum to the aggregate dropped_capacity.
+TEST(JudgmentCacheTest, DropsAreCountedPerUniverse) {
+  CacheOptions options;
+  options.capacity = 2;
+  JudgmentCache cache(options);
+  cache.Record(0, /*universe=*/0, 1, 2, JudgmentKind::kPreference,
+               DecisiveEntry(0.02, 50, 0.9));
+  cache.Record(0, /*universe=*/7, 1, 2, JudgmentKind::kPreference,
+               DecisiveEntry(0.02, 50, 0.9));
+  // Full: one refused insert for universe 7, two for universe 0.
+  cache.Record(0, 7, 3, 4, JudgmentKind::kPreference,
+               DecisiveEntry(0.02, 50, 0.9));
+  cache.Record(0, 0, 3, 4, JudgmentKind::kPreference,
+               DecisiveEntry(0.02, 50, 0.9));
+  cache.Record(0, 0, 5, 6, JudgmentKind::kPreference,
+               DecisiveEntry(0.02, 50, 0.9));
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.dropped_capacity, 3);
+  ASSERT_EQ(stats.dropped_by_universe.size(), 2u);
+  EXPECT_EQ(stats.dropped_by_universe[0], (std::pair<int64_t, int64_t>(0, 2)));
+  EXPECT_EQ(stats.dropped_by_universe[1], (std::pair<int64_t, int64_t>(7, 1)));
+  // Upgrades of an existing pair are not drops.
+  cache.Record(0, 0, 1, 2, JudgmentKind::kPreference,
+               DecisiveEntry(0.01, 80, 0.9));
+  EXPECT_EQ(cache.stats().dropped_capacity, 3);
+}
+
+// Export/RestoreEntries is the warm-restart unit: a fresh cache restored
+// from an export serves the same verdicts, counts the imports under
+// `restored` (not `inserts`), and re-exports the identical image.
+TEST(JudgmentCacheTest, ExportRestoreRoundTrip) {
+  JudgmentCache donor(CacheOptions{});
+  donor.Record(0, 0, 1, 2, JudgmentKind::kPreference,
+               DecisiveEntry(0.02, 50, 0.9));
+  donor.Record(0, 3, /*i=*/9, /*j=*/4, JudgmentKind::kPreference,
+               DecisiveEntry(0.05, 20, -0.4));
+  const std::vector<ExportedEntry> image = donor.Export();
+  ASSERT_EQ(image.size(), 2u);
+  // Canonical order: (universe, pair) ascending, lo < hi.
+  EXPECT_EQ(image[0].universe, 0);
+  EXPECT_EQ(image[1].universe, 3);
+  EXPECT_LT(image[1].lo, image[1].hi);
+
+  JudgmentCache restored(CacheOptions{});
+  restored.RestoreEntries(image);
+  const CacheStats stats = restored.stats();
+  EXPECT_EQ(stats.restored, 2);
+  EXPECT_EQ(stats.inserts, 0);
+  EXPECT_EQ(stats.pairs, 2);
+
+  const LookupResult hit =
+      restored.Lookup(0, 1, 2, 0.05, 1000, JudgmentKind::kPreference);
+  EXPECT_EQ(hit.status, LookupStatus::kHit);
+  EXPECT_EQ(hit.entry.outcome, ComparisonOutcome::kLeftWins);
+
+  // Bit-exact round trip, orientation included.
+  const std::vector<ExportedEntry> again = restored.Export();
+  ASSERT_EQ(again.size(), image.size());
+  for (size_t i = 0; i < image.size(); ++i) {
+    EXPECT_EQ(again[i].universe, image[i].universe);
+    EXPECT_EQ(again[i].lo, image[i].lo);
+    EXPECT_EQ(again[i].hi, image[i].hi);
+    EXPECT_EQ(again[i].entry.mean, image[i].entry.mean);
+    EXPECT_EQ(again[i].entry.m2, image[i].entry.m2);
+    EXPECT_EQ(again[i].entry.count, image[i].entry.count);
+  }
+}
+
 }  // namespace
 }  // namespace crowdtopk::cache

@@ -1,0 +1,532 @@
+// Tests for the durable-state subsystem (src/persist): record codec
+// round-trips, WAL framing / rotation / torn-tail truncation / repair,
+// snapshot atomicity and corruption fallback, manifest fingerprint
+// pinning, and the end-to-end contract — a serving replay halted
+// mid-run and resumed from disk produces byte-identical reports for any
+// worker count, even after the WAL tail is corrupted.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/heap_sort.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "judgment/comparison.h"
+#include "persist/format.h"
+#include "persist/manager.h"
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "serve/arrival.h"
+#include "serve/query_service.h"
+#include "serve/report.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace crowdtopk::persist {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  // Clear leftovers from a previous test-process run.
+  std::vector<std::string> files;
+  if (util::ListDirectoryFiles(dir, &files).ok()) {
+    for (const std::string& f : files) {
+      EXPECT_TRUE(util::RemoveFileIfExists(dir + "/" + f).ok());
+    }
+  }
+  EXPECT_TRUE(util::EnsureDirectory(dir).ok());
+  return dir;
+}
+
+cache::ExportedEntry SampleEntry() {
+  cache::ExportedEntry entry;
+  entry.universe = 3;
+  entry.kind = 1;
+  entry.lo = 4;
+  entry.hi = 9;
+  entry.entry.outcome = crowd::ComparisonOutcome::kLeftWins;
+  entry.entry.decisive = true;
+  entry.entry.alpha = 0.05;
+  entry.entry.count = 37;
+  entry.entry.mean = 0.123456789012345;
+  entry.entry.m2 = 9.87654321e-3;
+  entry.entry.first_stage_count = 12;
+  entry.entry.first_stage_sd = 0.25;
+  return entry;
+}
+
+// ------------------------------------------------------------- format
+
+TEST(FormatTest, RecordCodecRoundTrips) {
+  WalRecord out;
+  ASSERT_TRUE(DecodeRecord(EncodeAdmit(17), &out));
+  EXPECT_EQ(out.type, RecordType::kAdmit);
+  EXPECT_EQ(out.query_id, 17);
+
+  ASSERT_TRUE(DecodeRecord(EncodeReject(5), &out));
+  EXPECT_EQ(out.type, RecordType::kReject);
+  EXPECT_EQ(out.query_id, 5);
+
+  CompleteRecord complete;
+  complete.query_id = 8;
+  complete.status_code = 0;
+  complete.total_microtasks = 4242;
+  complete.rounds_private = 12;
+  complete.precision_at_k = 0.75;
+  complete.items = {3, 1, 4};
+  ASSERT_TRUE(DecodeRecord(EncodeComplete(complete), &out));
+  EXPECT_EQ(out.type, RecordType::kComplete);
+  EXPECT_EQ(out.complete.query_id, 8);
+  EXPECT_EQ(out.complete.total_microtasks, 4242);
+  EXPECT_EQ(out.complete.items, (std::vector<int32_t>{3, 1, 4}));
+
+  const cache::ExportedEntry entry = SampleEntry();
+  ASSERT_TRUE(DecodeRecord(EncodeCacheInsert(entry), &out));
+  EXPECT_EQ(out.type, RecordType::kCacheInsert);
+  EXPECT_EQ(out.cache_insert.universe, 3);
+  EXPECT_EQ(out.cache_insert.lo, 4);
+  EXPECT_EQ(out.cache_insert.hi, 9);
+  // Bit-exact doubles (the Welford-restore contract).
+  EXPECT_EQ(out.cache_insert.entry.mean, entry.entry.mean);
+  EXPECT_EQ(out.cache_insert.entry.m2, entry.entry.m2);
+
+  BarrierRecord barrier;
+  barrier.barrier = 41;
+  barrier.round = 99;
+  barrier.now_seconds = 123.456;
+  barrier.next_arrival = 7;
+  barrier.done = 6;
+  barrier.digest = 0xdeadbeefcafef00dULL;
+  ASSERT_TRUE(DecodeRecord(EncodeBarrier(barrier), &out));
+  EXPECT_EQ(out.type, RecordType::kBarrier);
+  EXPECT_EQ(out.barrier.barrier, 41);
+  EXPECT_EQ(out.barrier.now_seconds, 123.456);
+  EXPECT_EQ(out.barrier.digest, 0xdeadbeefcafef00dULL);
+}
+
+TEST(FormatTest, DecodeRejectsMalformedPayloads) {
+  WalRecord out;
+  EXPECT_FALSE(DecodeRecord("", &out));
+  EXPECT_FALSE(DecodeRecord("\x07", &out));  // unknown type byte
+  // Trailing garbage after a well-formed record is corruption too.
+  EXPECT_FALSE(DecodeRecord(EncodeAdmit(1) + "x", &out));
+  // Truncated body.
+  const std::string admit = EncodeAdmit(123456789);
+  EXPECT_FALSE(DecodeRecord(admit.substr(0, admit.size() - 1), &out));
+}
+
+TEST(FormatTest, FileNamesRoundTrip) {
+  int64_t id = -1;
+  EXPECT_TRUE(ParseWalSegmentName(WalSegmentName(42), &id));
+  EXPECT_EQ(id, 42);
+  EXPECT_TRUE(ParseSnapshotName(SnapshotName(1234), &id));
+  EXPECT_EQ(id, 1234);
+  EXPECT_FALSE(ParseWalSegmentName("snapshot-0000000001.snap", &id));
+  EXPECT_FALSE(ParseSnapshotName("wal-00000001.log", &id));
+  EXPECT_FALSE(ParseWalSegmentName("wal-abc.log", &id));
+}
+
+// ---------------------------------------------------------------- wal
+
+TEST(WalTest, AppendReadRoundTripAcrossRotation) {
+  const std::string dir = FreshDir("wal_round_trip");
+  WalWriterOptions options;
+  options.dir = dir;
+  options.segment_bytes = 128;  // force rotation every couple of batches
+  options.fsync = false;
+  WalWriter writer(options, /*start_segment=*/0);
+
+  std::vector<std::string> expected;
+  for (int64_t b = 0; b < 10; ++b) {
+    std::vector<std::string> batch = {EncodeAdmit(b)};
+    BarrierRecord barrier;
+    barrier.barrier = b;
+    batch.push_back(EncodeBarrier(barrier));
+    expected.insert(expected.end(), batch.begin(), batch.end());
+    ASSERT_TRUE(writer.AppendBatch(batch).ok());
+  }
+  EXPECT_GT(writer.counters().segments, 1);
+
+  const auto read = ReadWal(dir, 0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->truncated);
+  ASSERT_EQ(read->records.size(), expected.size());
+  int64_t barriers_seen = 0;
+  for (const WalRecord& record : read->records) {
+    if (record.type == RecordType::kBarrier) {
+      EXPECT_EQ(record.barrier.barrier, barriers_seen++);
+    }
+  }
+  EXPECT_EQ(barriers_seen, 10);
+}
+
+TEST(WalTest, TornTailKeepsPrefixAndDropsBeyond) {
+  const std::string dir = FreshDir("wal_torn_tail");
+  WalWriterOptions options;
+  options.dir = dir;
+  options.segment_bytes = 64;  // several segments
+  options.fsync = false;
+  WalWriter writer(options, 0);
+  for (int64_t b = 0; b < 8; ++b) {
+    BarrierRecord barrier;
+    barrier.barrier = b;
+    ASSERT_TRUE(writer.AppendBatch({EncodeAdmit(b), EncodeBarrier(barrier)})
+                    .ok());
+  }
+  ASSERT_GT(MaxWalSegment(dir), 0);
+
+  // Flip one byte in the middle of segment 1: everything in segment 1 from
+  // the damaged record on, plus every later segment, must be dropped.
+  const std::string victim = dir + "/" + WalSegmentName(1);
+  std::string bytes;
+  ASSERT_TRUE(util::ReadFileToString(victim, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x40;
+  ASSERT_TRUE(util::WriteFileAtomic(victim, bytes).ok());
+
+  const auto read = ReadWal(dir, 0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->truncated);
+  EXPECT_GT(read->bytes_dropped, 0);
+  EXPECT_FALSE(read->records.empty());
+  // Every surviving barrier is a strict prefix 0,1,...
+  int64_t next = 0;
+  for (const WalRecord& record : read->records) {
+    if (record.type == RecordType::kBarrier) {
+      EXPECT_EQ(record.barrier.barrier, next++);
+    }
+  }
+  EXPECT_LT(next, 8);
+
+  // Repair truncates the torn segment and deletes later ones; the next
+  // read is clean and sees exactly the surviving prefix.
+  ASSERT_TRUE(RepairWal(dir, 0).ok());
+  const auto repaired = ReadWal(dir, 0);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(repaired->truncated);
+  EXPECT_EQ(repaired->records.size(), read->records.size());
+}
+
+TEST(WalTest, MissingSegmentStopsReplay) {
+  const std::string dir = FreshDir("wal_gap");
+  WalWriterOptions options;
+  options.dir = dir;
+  options.fsync = false;
+  WalWriter writer(options, 0);
+  BarrierRecord barrier;
+  ASSERT_TRUE(writer.AppendBatch({EncodeBarrier(barrier)}).ok());
+  // Reading from an index past every existing segment replays nothing.
+  const auto read = ReadWal(dir, 5);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 0u);
+  EXPECT_EQ(read->segments_read, 0);
+}
+
+// ----------------------------------------------------------- snapshot
+
+SnapshotData SampleSnapshot() {
+  SnapshotData data;
+  data.barrier.barrier = 12;
+  data.barrier.round = 40;
+  data.barrier.now_seconds = 321.0625;
+  data.barrier.digest = 0x1234567890abcdefULL;
+  data.config_fingerprint = 777;
+  data.next_wal_segment = 3;
+  data.queued = {9, 10};
+  InflightDescriptor inflight;
+  inflight.query_id = 7;
+  inflight.admitted_round = 35;
+  data.inflight = {inflight};
+  CompleteRecord complete;
+  complete.query_id = 2;
+  complete.items = {5, 6};
+  complete.precision_at_k = 1.0;
+  data.completed = {complete};
+  data.rejected = {4};
+  data.cache_entries = {SampleEntry()};
+  return data;
+}
+
+TEST(SnapshotTest, WriteReadRoundTripIsBitExact) {
+  const std::string dir = FreshDir("snapshot_round_trip");
+  const std::string path = dir + "/" + SnapshotName(12);
+  const SnapshotData data = SampleSnapshot();
+  int64_t bytes = 0;
+  ASSERT_TRUE(WriteSnapshot(path, data, &bytes).ok());
+  EXPECT_GT(bytes, 0);
+
+  SnapshotData loaded;
+  ASSERT_TRUE(ReadSnapshot(path, &loaded).ok());
+  EXPECT_EQ(loaded.barrier.barrier, 12);
+  EXPECT_EQ(loaded.barrier.now_seconds, data.barrier.now_seconds);
+  EXPECT_EQ(loaded.barrier.digest, data.barrier.digest);
+  EXPECT_EQ(loaded.config_fingerprint, 777u);
+  EXPECT_EQ(loaded.next_wal_segment, 3);
+  EXPECT_EQ(loaded.queued, data.queued);
+  ASSERT_EQ(loaded.inflight.size(), 1u);
+  EXPECT_EQ(loaded.inflight[0].query_id, 7);
+  ASSERT_EQ(loaded.completed.size(), 1u);
+  EXPECT_EQ(loaded.completed[0].items, (std::vector<int32_t>{5, 6}));
+  EXPECT_EQ(loaded.rejected, data.rejected);
+  ASSERT_EQ(loaded.cache_entries.size(), 1u);
+  EXPECT_EQ(loaded.cache_entries[0].entry.mean, SampleEntry().entry.mean);
+  EXPECT_EQ(loaded.cache_digest, CacheImageDigest(data.cache_entries));
+}
+
+TEST(SnapshotTest, CorruptSnapshotIsRejected) {
+  const std::string dir = FreshDir("snapshot_corrupt");
+  const std::string path = dir + "/" + SnapshotName(1);
+  ASSERT_TRUE(WriteSnapshot(path, SampleSnapshot(), nullptr).ok());
+  std::string bytes;
+  ASSERT_TRUE(util::ReadFileToString(path, &bytes).ok());
+  bytes[bytes.size() - 3] ^= 0x01;
+  ASSERT_TRUE(util::WriteFileAtomic(path, bytes).ok());
+  SnapshotData loaded;
+  EXPECT_FALSE(ReadSnapshot(path, &loaded).ok());
+}
+
+TEST(SnapshotTest, LoadLatestFallsBackOverCorruptNewest) {
+  const std::string dir = FreshDir("snapshot_fallback");
+  SnapshotData older = SampleSnapshot();
+  older.barrier.barrier = 5;
+  ASSERT_TRUE(WriteSnapshot(dir + "/" + SnapshotName(5), older, nullptr).ok());
+  SnapshotData newer = SampleSnapshot();
+  newer.barrier.barrier = 9;
+  const std::string newest = dir + "/" + SnapshotName(9);
+  ASSERT_TRUE(WriteSnapshot(newest, newer, nullptr).ok());
+  // Damage the newest image.
+  std::string bytes;
+  ASSERT_TRUE(util::ReadFileToString(newest, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0xff;
+  ASSERT_TRUE(util::WriteFileAtomic(newest, bytes).ok());
+
+  SnapshotData loaded;
+  int64_t skipped = 0;
+  ASSERT_TRUE(LoadLatestSnapshot(dir, &loaded, &skipped).ok());
+  EXPECT_EQ(loaded.barrier.barrier, 5);
+  EXPECT_EQ(skipped, 1);
+}
+
+// ----------------------------------------------------------- recovery
+
+TEST(RecoveryTest, ManifestPinsConfigurationFingerprint) {
+  const std::string dir = FreshDir("recovery_manifest");
+  uint64_t fingerprint = 0;
+  EXPECT_EQ(ReadManifest(dir, &fingerprint).code(),
+            util::StatusCode::kNotFound);
+  ASSERT_TRUE(WriteManifest(dir, 0xabcdULL).ok());
+  ASSERT_TRUE(ReadManifest(dir, &fingerprint).ok());
+  EXPECT_EQ(fingerprint, 0xabcdULL);
+
+  // Matching fingerprint recovers (empty state); a different one refuses.
+  EXPECT_TRUE(Recover(dir, 0xabcdULL).ok());
+  const auto mismatch = Recover(dir, 0x9999ULL);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(RecoveryTest, RecoversFrontierFromWalAndSnapshot) {
+  const std::string dir = FreshDir("recovery_frontier");
+  ASSERT_TRUE(WriteManifest(dir, 1ULL).ok());
+
+  WalWriterOptions options;
+  options.dir = dir;
+  options.fsync = false;
+  WalWriter writer(options, 0);
+  for (int64_t b = 0; b < 4; ++b) {
+    BarrierRecord barrier;
+    barrier.barrier = b;
+    barrier.digest = 1000 + static_cast<uint64_t>(b);
+    ASSERT_TRUE(writer.AppendBatch({EncodeAdmit(b), EncodeBarrier(barrier)})
+                    .ok());
+  }
+
+  const auto recovered = Recover(dir, 1ULL);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered->has_snapshot);
+  EXPECT_EQ(recovered->durable_barrier, 3);
+  EXPECT_EQ(recovered->barriers.size(), 4u);
+  EXPECT_EQ(recovered->barriers.at(2).digest, 1002u);
+  // Live appends must land in a fresh segment past everything on disk.
+  EXPECT_GT(recovered->next_wal_segment, MaxWalSegment(dir));
+}
+
+// --------------------------------------------------- end-to-end serve
+
+struct ReplayResult {
+  std::string report_jsonl;
+  util::Status persist_status;
+  PersistCounters counters;
+  int64_t replayed_microtasks = 0;
+  int64_t total_microtasks = 0;
+  cache::CacheStats cache_stats;
+};
+
+// One full serving replay of a fixed 8-query workload.
+ReplayResult RunReplay(const std::string& persist_dir, bool resume,
+                       int64_t halt_after_barrier, int64_t jobs,
+                       bool with_cache = false,
+                       std::vector<cache::ExportedEntry> warm = {}) {
+  static const auto dataset = data::MakeUniformLadder(12, 1.0, 0.8);
+  static judgment::ComparisonOptions comparison;
+  static baselines::HeapSortTopK algorithm(comparison);
+
+  const std::vector<double> arrivals =
+      serve::PoissonArrivals(8, 0.01, /*seed=*/31);
+  std::vector<serve::QueryRequest> requests(8);
+  for (serve::QueryRequest& request : requests) {
+    request.algorithm = &algorithm;
+    request.dataset = dataset.get();
+    request.k = 4;
+  }
+
+  serve::ServeOptions options;
+  options.schedule.abandon_probability = 0.05;  // exercise requeues
+  options.max_inflight = 3;
+  options.jobs = jobs;
+  options.seed = 31;
+  options.cache.enabled = with_cache;
+  options.warm_cache = std::move(warm);
+  options.persist.dir = persist_dir;
+  options.persist.resume = resume;
+  options.persist.snapshot_every = 4;
+  options.persist.wal_fsync = false;  // keep the suite fast
+  options.persist.halt_after_barrier = halt_after_barrier;
+
+  serve::QueryService service(options);
+  const std::vector<serve::QueryOutcome> outcomes =
+      service.Replay(requests, arrivals);
+
+  ReplayResult result;
+  result.report_jsonl = serve::RenderServeReportJsonl(
+      serve::BuildServeReport(outcomes, service.assignment_stats(),
+                              service.makespan_seconds(),
+                              service.total_rounds()),
+      outcomes);
+  result.persist_status = service.persist_status();
+  result.counters = service.persist_counters();
+  result.replayed_microtasks = service.replayed_microtasks();
+  result.cache_stats = service.cache_stats();
+  for (const serve::QueryOutcome& o : outcomes) {
+    result.total_microtasks += o.total_microtasks;
+  }
+  return result;
+}
+
+// The tentpole contract: halt persistence mid-run (the on-disk state a
+// crash would leave), resume, and the resumed run's machine-readable
+// report is byte-identical to an uninterrupted run's — for jobs=1 and
+// jobs=8, with catch-up verified rather than assumed.
+TEST(PersistEndToEndTest, HaltAndResumeIsByteIdentical) {
+  const ReplayResult baseline =
+      RunReplay(/*persist_dir=*/"", false, -1, /*jobs=*/1);
+  ASSERT_FALSE(baseline.report_jsonl.empty());
+
+  for (const int64_t jobs : {int64_t{1}, int64_t{8}}) {
+    SCOPED_TRACE(jobs);
+    const std::string dir =
+        FreshDir("persist_resume_jobs" + std::to_string(jobs));
+    const ReplayResult halted =
+        RunReplay(dir, false, /*halt_after_barrier=*/6, jobs);
+    ASSERT_TRUE(halted.persist_status.ok());
+    // The halted run still finished (halt is fail-stop for persistence
+    // only), and its own report already matches.
+    EXPECT_EQ(halted.report_jsonl, baseline.report_jsonl);
+
+    const ReplayResult resumed = RunReplay(dir, true, -1, jobs);
+    ASSERT_TRUE(resumed.persist_status.ok());
+    EXPECT_EQ(resumed.report_jsonl, baseline.report_jsonl);
+    EXPECT_EQ(resumed.counters.resumed, 1);
+    EXPECT_EQ(resumed.counters.durable_barrier, 6);
+    EXPECT_EQ(resumed.counters.replayed_barriers, 7);
+    // Barriers 0..2 were pruned when the barrier-3 snapshot landed; 3 is
+    // verified against the snapshot, 4..6 against their WAL records.
+    EXPECT_EQ(resumed.counters.verified_barriers, 4);
+    EXPECT_EQ(resumed.counters.cache_image_verified, 1);
+    EXPECT_EQ(resumed.counters.divergent_barriers, 0);
+    EXPECT_EQ(resumed.counters.cache_image_divergent, 0);
+    EXPECT_GT(resumed.replayed_microtasks, 0);
+  }
+}
+
+// Corrupting the WAL tail lowers the durable frontier (longer catch-up)
+// but never changes the output or crashes the resume.
+TEST(PersistEndToEndTest, CorruptWalTailDegradesGracefully) {
+  const ReplayResult baseline = RunReplay("", false, -1, 1);
+  const std::string dir = FreshDir("persist_corrupt_tail");
+  const ReplayResult halted = RunReplay(dir, false, 6, 1);
+  ASSERT_TRUE(halted.persist_status.ok());
+
+  // Damage the newest segment's tail.
+  const int64_t last = MaxWalSegment(dir);
+  ASSERT_GE(last, 0);
+  const std::string victim = dir + "/" + WalSegmentName(last);
+  std::string bytes;
+  ASSERT_TRUE(util::ReadFileToString(victim, &bytes).ok());
+  bytes[bytes.size() - 2] ^= 0x10;
+  ASSERT_TRUE(util::WriteFileAtomic(victim, bytes).ok());
+
+  const ReplayResult resumed = RunReplay(dir, true, -1, 1);
+  ASSERT_TRUE(resumed.persist_status.ok());
+  EXPECT_EQ(resumed.report_jsonl, baseline.report_jsonl);
+  EXPECT_EQ(resumed.counters.wal_truncated, 1);
+  EXPECT_GT(resumed.counters.wal_bytes_dropped, 0);
+  EXPECT_LT(resumed.counters.durable_barrier, 6);
+  EXPECT_EQ(resumed.counters.divergent_barriers, 0);
+}
+
+// Resuming under a different configuration is refused (the replay still
+// completes, without durability) instead of silently diverging.
+TEST(PersistEndToEndTest, ResumeRefusesConfigMismatch) {
+  const std::string dir = FreshDir("persist_fingerprint");
+  const ReplayResult first = RunReplay(dir, false, 6, 1);
+  ASSERT_TRUE(first.persist_status.ok());
+
+  // Same directory, different workload shape: cache toggled on changes the
+  // configuration fingerprint.
+  const ReplayResult mismatched = RunReplay(dir, true, -1, 1,
+                                            /*with_cache=*/true);
+  EXPECT_EQ(mismatched.persist_status.code(),
+            util::StatusCode::kFailedPrecondition);
+  ASSERT_FALSE(mismatched.report_jsonl.empty());
+}
+
+// Warm restart: a later generation seeded with the snapshot's cache image
+// reuses the previous run's judgments and buys strictly fewer microtasks.
+TEST(PersistEndToEndTest, WarmRestartReusesCacheImage) {
+  const std::string dir = FreshDir("persist_warm");
+  const ReplayResult cold = RunReplay(dir, false, -1, 1, /*with_cache=*/true);
+  ASSERT_TRUE(cold.persist_status.ok());
+  ASSERT_GT(cold.counters.snapshots, 0);
+
+  SnapshotData snapshot;
+  ASSERT_TRUE(LoadLatestSnapshot(dir, &snapshot, nullptr).ok());
+  EXPECT_TRUE(snapshot.complete);
+  ASSERT_FALSE(snapshot.cache_entries.empty());
+
+  const ReplayResult warm =
+      RunReplay("", false, -1, 1, /*with_cache=*/true,
+                snapshot.cache_entries);
+  EXPECT_EQ(warm.cache_stats.restored,
+            static_cast<int64_t>(snapshot.cache_entries.size()));
+  EXPECT_GT(warm.cache_stats.hits, 0);
+  EXPECT_LT(warm.total_microtasks, cold.total_microtasks);
+}
+
+// A fully-durable directory (the run completed) resumes as pure catch-up:
+// nothing is re-appended, the report still matches.
+TEST(PersistEndToEndTest, ResumeOfCompleteRunIsPureCatchup) {
+  const std::string dir = FreshDir("persist_complete");
+  const ReplayResult full = RunReplay(dir, false, -1, 1);
+  ASSERT_TRUE(full.persist_status.ok());
+
+  const ReplayResult resumed = RunReplay(dir, true, -1, 1);
+  ASSERT_TRUE(resumed.persist_status.ok());
+  EXPECT_EQ(resumed.report_jsonl, full.report_jsonl);
+  EXPECT_EQ(resumed.counters.divergent_barriers, 0);
+  EXPECT_EQ(resumed.counters.wal_records, 0);
+}
+
+}  // namespace
+}  // namespace crowdtopk::persist

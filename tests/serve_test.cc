@@ -21,6 +21,8 @@
 #include "serve/batch_scheduler.h"
 #include "serve/query_service.h"
 #include "serve/report.h"
+#include "util/env.h"
+#include "util/file_io.h"
 #include "util/status.h"
 
 namespace crowdtopk::serve {
@@ -348,6 +350,54 @@ TEST(QueryServiceTest, ReportBitIdenticalAcrossJobs) {
   }
   EXPECT_EQ(rendered[0], rendered[1]);
   EXPECT_EQ(tables[0], tables[1]);
+}
+
+// Pins the machine-readable report schema to a golden file. The JSONL
+// output is what the crash-recovery CI job byte-diffs and what external
+// dashboards parse, so schema drift must be a deliberate, reviewed act:
+// regenerate with CROWDTOPK_UPDATE_GOLDEN=1 (writes the golden in the
+// source tree) and commit the diff.
+TEST(ReportTest, JsonlMatchesGoldenFile) {
+  const auto dataset = data::MakeUniformLadder(12, 1.0, 0.8);
+  judgment::ComparisonOptions comparison;
+  baselines::HeapSortTopK heap(comparison);
+  baselines::QuickSelectTopK quick(comparison);
+  core::TopKAlgorithm* algorithms[] = {&heap, &quick};
+
+  const std::vector<double> arrivals = PoissonArrivals(6, 0.01, 2017);
+  std::vector<QueryRequest> requests(6);
+  for (int64_t q = 0; q < 6; ++q) {
+    requests[q].algorithm = algorithms[q % 2];
+    requests[q].dataset = dataset.get();
+    requests[q].k = 3;
+  }
+
+  ServeOptions options;
+  options.schedule.abandon_probability = 0.1;  // exercise requeue columns
+  options.max_inflight = 2;
+  options.max_queue = 2;  // force at least one REJECTED row
+  options.jobs = 1;
+  options.seed = 2017;
+  QueryService service(options);
+  const std::vector<QueryOutcome> outcomes = service.Replay(requests, arrivals);
+  const std::string rendered = RenderServeReportJsonl(
+      BuildServeReport(outcomes, service.assignment_stats(),
+                       service.makespan_seconds(), service.total_rounds()),
+      outcomes);
+
+  const std::string golden_path =
+      std::string(CROWDTOPK_GOLDEN_DIR) + "/serve_report.jsonl";
+  if (util::GetEnvBool("CROWDTOPK_UPDATE_GOLDEN", false)) {
+    ASSERT_TRUE(util::WriteFileAtomic(golden_path, rendered).ok());
+    GTEST_SKIP() << "golden updated: " << golden_path;
+  }
+  std::string golden;
+  ASSERT_TRUE(util::ReadFileToString(golden_path, &golden).ok())
+      << "missing " << golden_path
+      << " — run once with CROWDTOPK_UPDATE_GOLDEN=1";
+  EXPECT_EQ(rendered, golden)
+      << "ServeReport JSONL schema drifted; if intentional, regenerate the "
+         "golden with CROWDTOPK_UPDATE_GOLDEN=1 and commit it";
 }
 
 // Nearest-rank percentile sanity.

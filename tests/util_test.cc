@@ -265,6 +265,51 @@ TEST(EnvTest, DoubleRejectsTrailingGarbage) {
   ::unsetenv("CROWDTOPK_TEST_DBL_GARBAGE");
 }
 
+TEST(EnvTest, OutOfRangeValuesFallBack) {
+  // strtoll/strtod clamp and set ERANGE on overflow; a clamped value is a
+  // typo, not a request for INT64_MAX, so the fallback must win.
+  ::setenv("CROWDTOPK_TEST_INT_RANGE", "99999999999999999999999", 1);
+  EXPECT_EQ(GetEnvInt64("CROWDTOPK_TEST_INT_RANGE", 7), 7);
+  ::setenv("CROWDTOPK_TEST_INT_RANGE", "-99999999999999999999999", 1);
+  EXPECT_EQ(GetEnvInt64("CROWDTOPK_TEST_INT_RANGE", 7), 7);
+  ::unsetenv("CROWDTOPK_TEST_INT_RANGE");
+
+  ::setenv("CROWDTOPK_TEST_DBL_RANGE", "1e999", 1);
+  EXPECT_EQ(GetEnvDouble("CROWDTOPK_TEST_DBL_RANGE", 1.5), 1.5);
+  ::unsetenv("CROWDTOPK_TEST_DBL_RANGE");
+}
+
+TEST(EnvTest, EmptyValueMeansUnset) {
+  ::setenv("CROWDTOPK_TEST_EMPTY", "", 1);
+  EXPECT_EQ(GetEnvInt64("CROWDTOPK_TEST_EMPTY", 7), 7);
+  EXPECT_EQ(GetEnvDouble("CROWDTOPK_TEST_EMPTY", 1.5), 1.5);
+  EXPECT_EQ(GetEnvString("CROWDTOPK_TEST_EMPTY", "fallback"), "fallback");
+  EXPECT_TRUE(GetEnvBool("CROWDTOPK_TEST_EMPTY", true));
+  // Empty is silent — no strict-parse warning.
+  const int64_t before = internal::EnvWarningCountForTest();
+  EXPECT_EQ(GetEnvInt64("CROWDTOPK_TEST_EMPTY", 7), 7);
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before);
+  ::unsetenv("CROWDTOPK_TEST_EMPTY");
+}
+
+TEST(EnvTest, BadValueWarnsOncePerVariable) {
+  const int64_t before = internal::EnvWarningCountForTest();
+  ::setenv("CROWDTOPK_TEST_WARN_ONCE", "junk", 1);
+  GetEnvInt64("CROWDTOPK_TEST_WARN_ONCE", 7);
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before + 1);
+  // Re-reading the same bad variable must not spam: a knob consulted in a
+  // per-round loop would otherwise flood stderr.
+  GetEnvInt64("CROWDTOPK_TEST_WARN_ONCE", 7);
+  GetEnvDouble("CROWDTOPK_TEST_WARN_ONCE", 1.5);
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before + 1);
+  // A different variable gets its own single warning.
+  ::setenv("CROWDTOPK_TEST_WARN_TWICE", "alsojunk", 1);
+  GetEnvDouble("CROWDTOPK_TEST_WARN_TWICE", 1.5);
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before + 2);
+  ::unsetenv("CROWDTOPK_TEST_WARN_ONCE");
+  ::unsetenv("CROWDTOPK_TEST_WARN_TWICE");
+}
+
 TEST(EnvTest, StringFallback) {
   ::unsetenv("CROWDTOPK_TEST_STR");
   EXPECT_EQ(GetEnvString("CROWDTOPK_TEST_STR", "imdb"), "imdb");

@@ -97,9 +97,55 @@ void PrintReport(const verify::GuaranteeReport& report) {
       report.decisive ? " (early stop)" : "");
 }
 
+constexpr char kHelp[] = R"(crowdtopk_verify - statistical-guarantee verification harness
+
+Usage: crowdtopk_verify [--help]
+
+Runs Monte-Carlo sweeps that check the paper's probabilistic contracts
+(COMP correctness >= 1 - alpha; SPR expected precision >= (1 - alpha)/c)
+on a clean crowd and, when any CROWDTOPK_FAULT_* fraction is positive,
+on a faulty crowd too. Exit code is 0 iff no clean-crowd check FAILs.
+
+All knobs are environment variables:
+
+Verification knobs
+  CROWDTOPK_VERIFY_TRIALS      max Monte-Carlo trials per check   (default 400)
+  CROWDTOPK_VERIFY_BLOCK       trials per sequential block        (default 50)
+  CROWDTOPK_VERIFY_BAND_ALPHA  Wilson band significance           (default 0.002)
+  CROWDTOPK_VERIFY_ALPHAS      comma list of contract alphas      (default 0.05,0.1)
+  CROWDTOPK_VERIFY_ESTIMATORS  comma list: student,stein,hoeffding,anytime
+                                              (default student,stein,hoeffding)
+  CROWDTOPK_VERIFY_EFFECT      COMP pair effect size mean/sd      (default 0.6)
+  CROWDTOPK_VERIFY_BUDGET      per-pair budget for COMP checks    (default 1048576)
+  CROWDTOPK_VERIFY_SPR         =0 skips the end-to-end SPR checks (default 1)
+  CROWDTOPK_VERIFY_REPORT      JSONL report path; empty = stdout  (default empty)
+
+Fault-injection knobs (any positive fraction adds "+fault" variants)
+  CROWDTOPK_FAULT_SPAMMER      spammer worker fraction            (default 0)
+  CROWDTOPK_FAULT_ADVERSARY    adversarial worker fraction        (default 0)
+  CROWDTOPK_FAULT_LAZY         lazy worker fraction               (default 0)
+  CROWDTOPK_FAULT_DUPLICATE    duplicate-submitter fraction       (default 0)
+  CROWDTOPK_FAULT_WORKERS      simulated worker pool size         (default 200)
+
+Common knobs
+  CROWDTOPK_SEED               base RNG seed                      (default 42)
+  CROWDTOPK_JOBS               worker threads; report is bit-identical
+                               for every value                    (default hw)
+)";
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kHelp, stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "crowdtopk_verify: unknown argument '%s' (try --help)\n",
+                 arg.c_str());
+    return 2;
+  }
   verify::VerifyOptions options;
   options.max_trials = util::GetEnvInt64("CROWDTOPK_VERIFY_TRIALS", 400);
   options.block_trials = util::GetEnvInt64("CROWDTOPK_VERIFY_BLOCK", 50);
