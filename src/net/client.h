@@ -1,0 +1,98 @@
+// Blocking client for the crowdtopk network protocol (docs/NETWORK.md).
+//
+// One Client owns one TCP connection and is meant to be used from one
+// thread. Every call is synchronous: Connect dials and completes the
+// version handshake; Submit sends a query and returns its server-assigned
+// id as soon as the kSubmitAck arrives; AwaitResult blocks until the
+// server pushes the kResult frame for that id. Results that arrive while
+// the client is waiting for something else (a status reply, a different
+// query's result) are stashed and handed out when asked for.
+//
+// Timeouts and retries: connect_timeout_ms bounds the dial, and
+// request_timeout_ms bounds each wait for a reply (AwaitResult uses the
+// larger result_timeout_ms, since a query may legitimately take a while).
+// Connect and Submit transparently retry up to max_retries times when the
+// server answers UNAVAILABLE (it is draining or at capacity) or hangs up
+// before the reply — each retry redials, so a freshly restarted server is
+// picked up. All other errors surface immediately.
+
+#ifndef CROWDTOPK_NET_CLIENT_H_
+#define CROWDTOPK_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/protocol.h"
+#include "util/status.h"
+
+namespace crowdtopk::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int64_t port = 7117;
+  int64_t connect_timeout_ms = 5000;
+  // Per-reply wait for request/reply calls (Submit, QueryStatus, Cancel,
+  // Stats).
+  int64_t request_timeout_ms = 30000;
+  // Wait bound for AwaitResult; queries queue behind whole batches, so
+  // this is deliberately larger than request_timeout_ms.
+  int64_t result_timeout_ms = 120000;
+  // Bounded retries on UNAVAILABLE (and on the server hanging up before a
+  // reply); 0 disables retrying.
+  int64_t max_retries = 3;
+  int64_t retry_backoff_ms = 50;
+};
+
+class Client {
+ public:
+  explicit Client(const ClientOptions& options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Dials host:port and runs the version handshake. Safe to call again
+  // after a failure or Close; an existing connection is torn down first.
+  util::Status Connect();
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Submits one query; returns the server-assigned query id. The result
+  // arrives later via AwaitResult.
+  util::StatusOr<int64_t> Submit(const SubmitQuery& query);
+
+  // Blocks until the result for `query_id` arrives (or result_timeout_ms
+  // elapses). Never retries: the submitting connection is the only place
+  // the result will ever be pushed.
+  util::StatusOr<Result> AwaitResult(int64_t query_id);
+
+  // Where `query_id` is in its lifecycle, per the server.
+  util::StatusOr<QueryState> GetQueryState(int64_t query_id);
+
+  // Asks the server to drop a still-queued query. Returns true when the
+  // query was removed, false when it was already running or done.
+  util::StatusOr<bool> Cancel(int64_t query_id);
+
+  // Live server counters.
+  util::StatusOr<StatsReply> Stats();
+
+ private:
+  util::Status Dial();
+  util::Status Handshake();
+  util::Status SendMessage(const NetMessage& message);
+  // Reads frames until one of `want` arrives, stashing kResult frames for
+  // other queries. deadline_ms is absolute (steady clock).
+  util::StatusOr<NetMessage> ReadUntil(MessageType want, int64_t deadline_ms);
+  util::Status ReadMore(int64_t deadline_ms);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  FrameReader reader_;
+  std::map<int64_t, Result> pending_results_;
+};
+
+}  // namespace crowdtopk::net
+
+#endif  // CROWDTOPK_NET_CLIENT_H_

@@ -1,0 +1,271 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace crowdtopk::net {
+namespace {
+
+using util::Decoder;
+using util::Encoder;
+
+void EncodeBody(const NetMessage& m, Encoder* enc) {
+  switch (m.type) {
+    case MessageType::kHello:
+      enc->PutU64(m.hello.magic);
+      enc->PutU32(m.hello.version);
+      return;
+    case MessageType::kHelloAck:
+      enc->PutU32(m.hello_ack.version);
+      return;
+    case MessageType::kSubmitQuery:
+      enc->PutString(m.submit.dataset);
+      enc->PutI64(m.submit.k);
+      enc->PutString(m.submit.algo);
+      enc->PutDouble(m.submit.alpha);
+      enc->PutI64(m.submit.budget);
+      return;
+    case MessageType::kSubmitAck:
+      enc->PutI64(m.submit_ack.query_id);
+      return;
+    case MessageType::kStatusRequest:
+      enc->PutI64(m.status_request.query_id);
+      return;
+    case MessageType::kStatusReply:
+      enc->PutI64(m.status_reply.query_id);
+      enc->PutU8(static_cast<uint8_t>(m.status_reply.state));
+      return;
+    case MessageType::kResult: {
+      const Result& r = m.result;
+      enc->PutI64(r.query_id);
+      enc->PutU32(r.status_code);
+      enc->PutU8(r.reject_reason);
+      enc->PutString(r.message);
+      enc->PutU32(static_cast<uint32_t>(r.items.size()));
+      for (const int32_t item : r.items) enc->PutI32(item);
+      enc->PutDouble(r.precision_at_k);
+      enc->PutI64(r.total_microtasks);
+      enc->PutI64(r.rounds);
+      enc->PutDouble(r.latency_seconds);
+      enc->PutDouble(r.queue_wait_seconds);
+      return;
+    }
+    case MessageType::kCancel:
+      enc->PutI64(m.cancel.query_id);
+      return;
+    case MessageType::kCancelAck:
+      enc->PutI64(m.cancel_ack.query_id);
+      enc->PutU8(m.cancel_ack.cancelled ? 1 : 0);
+      return;
+    case MessageType::kStatsRequest:
+      return;  // empty body
+    case MessageType::kStatsReply: {
+      const StatsReply& s = m.stats_reply;
+      enc->PutU8(s.draining ? 1 : 0);
+      enc->PutI64(s.active_connections);
+      enc->PutI64(s.accepted_connections);
+      enc->PutI64(s.rejected_connections);
+      enc->PutI64(s.idle_closed);
+      enc->PutI64(s.frames_in);
+      enc->PutI64(s.frames_out);
+      enc->PutI64(s.bytes_in);
+      enc->PutI64(s.bytes_out);
+      enc->PutI64(s.crc_errors);
+      enc->PutI64(s.malformed_frames);
+      enc->PutI64(s.version_mismatches);
+      enc->PutI64(s.queries_submitted);
+      enc->PutI64(s.queries_completed);
+      enc->PutI64(s.queries_rejected);
+      enc->PutI64(s.queries_cancelled);
+      enc->PutI64(s.batches);
+      return;
+    }
+    case MessageType::kError:
+      enc->PutU8(static_cast<uint8_t>(m.error.code));
+      enc->PutI64(m.error.query_id);
+      enc->PutString(m.error.message);
+      return;
+  }
+}
+
+bool DecodeBody(MessageType type, Decoder* dec, NetMessage* out) {
+  out->type = type;
+  switch (type) {
+    case MessageType::kHello:
+      return dec->GetU64(&out->hello.magic) &&
+             dec->GetU32(&out->hello.version);
+    case MessageType::kHelloAck:
+      return dec->GetU32(&out->hello_ack.version);
+    case MessageType::kSubmitQuery:
+      return dec->GetString(&out->submit.dataset) &&
+             dec->GetI64(&out->submit.k) &&
+             dec->GetString(&out->submit.algo) &&
+             dec->GetDouble(&out->submit.alpha) &&
+             dec->GetI64(&out->submit.budget);
+    case MessageType::kSubmitAck:
+      return dec->GetI64(&out->submit_ack.query_id);
+    case MessageType::kStatusRequest:
+      return dec->GetI64(&out->status_request.query_id);
+    case MessageType::kStatusReply: {
+      uint8_t state;
+      if (!dec->GetI64(&out->status_reply.query_id) || !dec->GetU8(&state)) {
+        return false;
+      }
+      if (state > static_cast<uint8_t>(QueryState::kDone)) return false;
+      out->status_reply.state = static_cast<QueryState>(state);
+      return true;
+    }
+    case MessageType::kResult: {
+      Result& r = out->result;
+      uint32_t count;
+      if (!dec->GetI64(&r.query_id) || !dec->GetU32(&r.status_code) ||
+          !dec->GetU8(&r.reject_reason) || !dec->GetString(&r.message) ||
+          !dec->GetU32(&count)) {
+        return false;
+      }
+      // Each item costs 4 bytes; a count the remaining bytes cannot hold
+      // is corruption, not a huge allocation.
+      if (count > dec->remaining() / sizeof(int32_t)) return false;
+      r.items.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!dec->GetI32(&r.items[i])) return false;
+      }
+      return dec->GetDouble(&r.precision_at_k) &&
+             dec->GetI64(&r.total_microtasks) && dec->GetI64(&r.rounds) &&
+             dec->GetDouble(&r.latency_seconds) &&
+             dec->GetDouble(&r.queue_wait_seconds);
+    }
+    case MessageType::kCancel:
+      return dec->GetI64(&out->cancel.query_id);
+    case MessageType::kCancelAck: {
+      uint8_t cancelled;
+      if (!dec->GetI64(&out->cancel_ack.query_id) ||
+          !dec->GetU8(&cancelled)) {
+        return false;
+      }
+      out->cancel_ack.cancelled = cancelled != 0;
+      return true;
+    }
+    case MessageType::kStatsRequest:
+      return true;
+    case MessageType::kStatsReply: {
+      StatsReply& s = out->stats_reply;
+      uint8_t draining;
+      if (!dec->GetU8(&draining)) return false;
+      s.draining = draining != 0;
+      return dec->GetI64(&s.active_connections) &&
+             dec->GetI64(&s.accepted_connections) &&
+             dec->GetI64(&s.rejected_connections) &&
+             dec->GetI64(&s.idle_closed) && dec->GetI64(&s.frames_in) &&
+             dec->GetI64(&s.frames_out) && dec->GetI64(&s.bytes_in) &&
+             dec->GetI64(&s.bytes_out) && dec->GetI64(&s.crc_errors) &&
+             dec->GetI64(&s.malformed_frames) &&
+             dec->GetI64(&s.version_mismatches) &&
+             dec->GetI64(&s.queries_submitted) &&
+             dec->GetI64(&s.queries_completed) &&
+             dec->GetI64(&s.queries_rejected) &&
+             dec->GetI64(&s.queries_cancelled) && dec->GetI64(&s.batches);
+    }
+    case MessageType::kError: {
+      uint8_t code;
+      if (!dec->GetU8(&code)) return false;
+      if (code < static_cast<uint8_t>(ErrorCode::kVersionMismatch) ||
+          code > static_cast<uint8_t>(ErrorCode::kInternal)) {
+        return false;
+      }
+      out->error.code = static_cast<ErrorCode>(code);
+      return dec->GetI64(&out->error.query_id) &&
+             dec->GetString(&out->error.message);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeMessage(const NetMessage& message) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(message.type));
+  EncodeBody(message, &enc);
+  return enc.Take();
+}
+
+bool DecodeMessage(const std::string& payload, NetMessage* out) {
+  Decoder dec(payload);
+  uint8_t type;
+  if (!dec.GetU8(&type)) return false;
+  if (type < static_cast<uint8_t>(MessageType::kHello) ||
+      type > static_cast<uint8_t>(MessageType::kError)) {
+    return false;
+  }
+  if (!DecodeBody(static_cast<MessageType>(type), &dec, out)) return false;
+  return dec.remaining() == 0;  // trailing garbage is malformed, not slack
+}
+
+std::string FramePayload(const std::string& payload) {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(util::Crc32(payload));
+  std::string frame = enc.Take();
+  frame += payload;
+  return frame;
+}
+
+std::string FrameMessage(const NetMessage& message) {
+  return FramePayload(EncodeMessage(message));
+}
+
+NetMessage MakeError(ErrorCode code, int64_t query_id, std::string message) {
+  NetMessage m;
+  m.type = MessageType::kError;
+  m.error.code = code;
+  m.error.query_id = query_id;
+  m.error.message = std::move(message);
+  return m;
+}
+
+util::Status MapErrorCode(ErrorCode code, const std::string& message) {
+  switch (code) {
+    case ErrorCode::kVersionMismatch:
+      return util::Status::FailedPrecondition(message);
+    case ErrorCode::kMalformed:
+      return util::Status::InvalidArgument(message);
+    case ErrorCode::kUnavailable:
+      return util::Status::Unavailable(message);
+    case ErrorCode::kQueueFull:
+      return util::Status::ResourceExhausted(message);
+    case ErrorCode::kInvalidArgument:
+      return util::Status::InvalidArgument(message);
+    case ErrorCode::kNotFound:
+      return util::Status::NotFound(message);
+    case ErrorCode::kInternal:
+      return util::Status::Internal(message);
+  }
+  return util::Status::Internal(message);
+}
+
+FrameReader::Next FrameReader::Pop(std::string* payload) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (offset_ > 0 && offset_ >= buffer_.size() / 2) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  if (buffered_bytes() < kFrameHeaderBytes) return Next::kNeedMore;
+  uint32_t length;
+  uint32_t crc;
+  std::memcpy(&length, buffer_.data() + offset_, sizeof(length));
+  std::memcpy(&crc, buffer_.data() + offset_ + sizeof(length), sizeof(crc));
+  if (length > max_payload_) return Next::kOversized;
+  if (buffered_bytes() < kFrameHeaderBytes + length) return Next::kNeedMore;
+  const char* body = buffer_.data() + offset_ + kFrameHeaderBytes;
+  if (util::Crc32(body, static_cast<size_t>(length)) != crc) {
+    return Next::kCorrupt;
+  }
+  payload->assign(body, length);
+  offset_ += kFrameHeaderBytes + length;
+  return Next::kFrame;
+}
+
+}  // namespace crowdtopk::net

@@ -1,0 +1,144 @@
+// TCP front-end exposing serve::QueryService to remote clients.
+//
+// Architecture (docs/NETWORK.md): two threads plus whatever the serving
+// layer spawns internally.
+//
+//   network thread — the caller of Serve(). A poll(2) event loop over the
+//   listening socket, a self-pipe (drain wakeups from signal handlers and
+//   result wakeups from the engine), and every live connection. Sockets
+//   are non-blocking; each connection owns a FrameReader and a bounded
+//   write buffer. Backpressure: a connection whose write buffer passes the
+//   high watermark stops being read until it drains, and one that passes
+//   the hard cap is closed as a slow consumer. Connections idle past
+//   idle_timeout_ms with no in-flight queries are closed. When the
+//   connection table is full, a new connection is greeted with an
+//   UNAVAILABLE error frame and closed.
+//
+//   engine thread — owns the actual query execution. Accepted submissions
+//   queue FIFO; the engine drains the queue into a batch and replays it
+//   through one serve::QueryService (arrivals all zero, shared crowd
+//   capacity, per-query algorithm/alpha/budget), so queries that arrive
+//   together share worker slots and — when the cache is enabled — reuse
+//   each other's judgments. Batch b runs under seed SplitSeed(seed, b) and
+//   inherits the previous batch's committed cache entries through
+//   QueryService::ExportCache -> warm_cache, the same cross-generation
+//   path a --warm restart uses. With a single blocking client the batch
+//   sequence (and thus every outcome) is a pure function of the seed,
+//   which is what makes the loadgen report byte-reproducible.
+//
+// Graceful drain: RequestDrain() is async-signal-safe (an atomic store and
+// a self-pipe write), so a SIGTERM handler may call it directly. Draining
+// stops the acceptor, answers new SubmitQuery frames with UNAVAILABLE,
+// finishes every already-accepted query, flushes the results, and returns
+// from Serve(). Queries still waiting in the engine queue when
+// drain_timeout_ms expires are rejected with UNAVAILABLE; the batch in
+// flight always runs to completion.
+
+#ifndef CROWDTOPK_NET_SERVER_H_
+#define CROWDTOPK_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cache/judgment_cache.h"
+#include "core/topk_algorithm.h"
+#include "data/dataset.h"
+#include "judgment/comparison.h"
+#include "net/protocol.h"
+#include "serve/batch_scheduler.h"
+#include "serve/query_service.h"
+#include "util/status.h"
+
+namespace crowdtopk::net {
+
+// Resolves a SubmitQuery dataset name; nullptr = unknown name (the client
+// gets an INVALID_ARGUMENT error frame). Results are memoized per name.
+using DatasetFactory = std::function<std::unique_ptr<data::Dataset>(
+    const std::string& name, uint64_t seed)>;
+
+// Resolves a SubmitQuery algorithm name under the query's comparison
+// options (alpha, budget); nullptr = unknown name. Memoized per
+// (name, alpha, budget); instances must be concurrent_runs_safe().
+using AlgorithmFactory = std::function<std::unique_ptr<core::TopKAlgorithm>(
+    const std::string& name, const judgment::ComparisonOptions& options)>;
+
+// The built-in factories the CLI uses: the five paper datasets by name,
+// and spr / tourtree / heapsort / quickselect.
+DatasetFactory DefaultDatasetFactory();
+AlgorithmFactory DefaultAlgorithmFactory();
+
+// Maps a serve-layer admission rejection onto the wire error taxonomy —
+// the machine-readable path that replaces string-matching the status.
+ErrorCode MapRejectReason(serve::RejectReason reason);
+
+struct ServerOptions {
+  // TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back with
+  // port() — the CLI prints it, the smoke script parses it).
+  int64_t port = 7117;
+  int64_t max_connections = 64;
+  // Connections with no traffic and no in-flight queries for this long
+  // are closed; <= 0 disables.
+  int64_t idle_timeout_ms = 60000;
+  // Drain budget: queries still queued (not yet batched) past it are
+  // rejected instead of executed.
+  int64_t drain_timeout_ms = 30000;
+  // Admission bound across engine queue + in-flight batch; arrivals past
+  // it are refused with a QUEUE_FULL error frame. < 0 = unbounded.
+  int64_t max_queue = 256;
+
+  // Engine: one serve::QueryService per batch, built from these.
+  uint64_t seed = 20170514;
+  serve::ScheduleOptions schedule;
+  int64_t max_inflight = 16;
+  int64_t jobs = 1;
+  // Shared judgment cache; committed entries chain across batches.
+  cache::CacheOptions cache;
+
+  // Non-empty: write net/* telemetry counters (per connection and
+  // aggregate) to <trace_dir>/net_server.trace.jsonl when Serve returns.
+  std::string trace_dir;
+
+  // Test injection points; null picks the defaults above.
+  DatasetFactory dataset_factory;
+  AlgorithmFactory algorithm_factory;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds 127.0.0.1:port, starts listening, and spawns the engine thread.
+  util::Status Start();
+
+  // Port actually bound (meaningful after Start; equals options.port
+  // unless that was 0).
+  int port() const { return port_; }
+
+  // Runs the event loop on the calling thread until a drain completes.
+  // Call Start() first.
+  void Serve();
+
+  // Begins a graceful drain; async-signal-safe (atomic store + pipe
+  // write), so SIGTERM handlers may call it directly. Idempotent.
+  void RequestDrain();
+
+  // Live counter snapshot; safe from any thread.
+  StatsReply Stats() const;
+
+ private:
+  struct Connection;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  int port_ = 0;
+};
+
+}  // namespace crowdtopk::net
+
+#endif  // CROWDTOPK_NET_SERVER_H_

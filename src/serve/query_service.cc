@@ -206,6 +206,7 @@ std::vector<QueryOutcome> QueryService::Replay(
           static_cast<int64_t>(admission.size()) >= options_.max_queue) {
         QueryOutcome& o = outcomes_[id];
         o.rejected = true;
+        o.reject_reason = RejectReason::kQueueFull;
         o.status = util::Status::ResourceExhausted(
             "admission queue full (max_queue=" +
             std::to_string(options_.max_queue) + ")");
@@ -347,6 +348,11 @@ std::vector<QueryOutcome> QueryService::Replay(
 
 cache::CacheStats QueryService::cache_stats() const {
   return cache_ == nullptr ? cache::CacheStats() : cache_->stats();
+}
+
+std::vector<cache::ExportedEntry> QueryService::ExportCache() const {
+  return cache_ == nullptr ? std::vector<cache::ExportedEntry>()
+                           : cache_->Export();
 }
 
 persist::PersistCounters QueryService::persist_counters() const {

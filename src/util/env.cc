@@ -138,6 +138,18 @@ int64_t PersistKillBarrier() {
   return GetEnvInt64("CROWDTOPK_PERSIST_KILL_BARRIER", -1);
 }
 
+int64_t NetPort() { return GetEnvInt64("CROWDTOPK_NET_PORT", 7117); }
+
+int64_t NetMaxConns() { return GetEnvInt64("CROWDTOPK_NET_MAX_CONNS", 64); }
+
+int64_t NetIdleTimeoutMs() {
+  return GetEnvInt64("CROWDTOPK_NET_IDLE_TIMEOUT_MS", 60000);
+}
+
+int64_t NetDrainTimeoutMs() {
+  return GetEnvInt64("CROWDTOPK_NET_DRAIN_TIMEOUT_MS", 30000);
+}
+
 namespace internal {
 int64_t EnvWarningCountForTest() {
   return env_warnings.load(std::memory_order_relaxed);

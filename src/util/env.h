@@ -110,6 +110,27 @@ int64_t WalSegmentBytes();
 // durable, simulating a hard kill for the recovery CI jobs.
 int64_t PersistKillBarrier();
 
+// ----- network front-end knobs (src/net, docs/NETWORK.md) ----------------
+
+// TCP port the server binds on 127.0.0.1 (CROWDTOPK_NET_PORT, default
+// 7117). 0 picks an ephemeral port; the CLI prints the bound port either
+// way, which is what the smoke scripts parse.
+int64_t NetPort();
+
+// Connection bound (CROWDTOPK_NET_MAX_CONNS, default 64): connections past
+// it are greeted with an UNAVAILABLE error frame and closed.
+int64_t NetMaxConns();
+
+// Idle/read timeout in milliseconds (CROWDTOPK_NET_IDLE_TIMEOUT_MS,
+// default 60000): a connection with no traffic and no in-flight queries
+// for this long is closed. <= 0 disables the timeout.
+int64_t NetIdleTimeoutMs();
+
+// Graceful-drain budget in milliseconds (CROWDTOPK_NET_DRAIN_TIMEOUT_MS,
+// default 30000): on SIGTERM the server finishes in-flight queries and
+// flushes replies for at most this long before exiting anyway.
+int64_t NetDrainTimeoutMs();
+
 namespace internal {
 // Total strict-parse warnings emitted so far by GetEnvInt64/GetEnvDouble.
 // Exposed so tests can assert the warn-once-per-variable contract without

@@ -25,6 +25,10 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kNotFound,
+  // Transient refusal: the server is draining or at capacity; retrying
+  // later (or elsewhere) may succeed. Appended last so the numeric codes
+  // persisted in WAL records stay stable.
+  kUnavailable,
 };
 
 // Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -56,6 +60,9 @@ class Status {
   }
   static Status NotFound(std::string message) {
     return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

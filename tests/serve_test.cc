@@ -309,8 +309,12 @@ TEST(QueryServiceTest, AdmissionQueueOverflowRejects) {
       service.Replay(requests, {0.0, 10.0});
 
   EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[0].reject_reason, RejectReason::kNone);
   EXPECT_TRUE(outcomes[1].rejected);
   EXPECT_EQ(outcomes[1].status.code(), util::StatusCode::kResourceExhausted);
+  // The machine-readable reason the network front-end maps to an error
+  // frame (no string-matching on the status message).
+  EXPECT_EQ(outcomes[1].reject_reason, RejectReason::kQueueFull);
 }
 
 // The determinism contract of the whole layer: same options + seed + trace
