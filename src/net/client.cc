@@ -8,20 +8,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
-#include <thread>
 #include <utility>
 
 namespace crowdtopk::net {
 namespace {
-
-int64_t NowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 bool SetNonBlocking(int fd, bool enabled) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -38,7 +31,17 @@ bool Retryable(const util::Status& status) {
 
 }  // namespace
 
-Client::Client(const ClientOptions& options) : options_(options) {}
+Client::Client(const ClientOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : util::WallClock::Get()) {}
+
+int Client::PollWaitMs(int64_t left) const {
+  if (options_.clock != nullptr) {
+    return static_cast<int>(std::min<int64_t>(left, 10));
+  }
+  return static_cast<int>(left);
+}
 
 Client::~Client() { Close(); }
 
@@ -52,6 +55,11 @@ void Client::Close() {
 
 util::Status Client::Dial() {
   Close();
+  if (options_.port <= 0) {
+    return util::Status::InvalidArgument(
+        "client port must be the server's bound port (servers bind "
+        "ephemeral ports by default and print the assigned one)");
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return util::Status::Internal(std::string("socket: ") +
@@ -122,10 +130,7 @@ util::Status Client::Handshake() {
 util::Status Client::Connect() {
   util::Status status = util::Status::Ok();
   for (int64_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.retry_backoff_ms));
-    }
+    if (attempt > 0) clock_->SleepMillis(options_.retry_backoff_ms);
     status = Dial();
     if (status.ok()) status = Handshake();
     if (status.ok() || !Retryable(status)) return status;
@@ -151,7 +156,7 @@ util::Status Client::SendMessage(const NetMessage& message) {
       const int64_t left = deadline - NowMs();
       if (left <= 0) return util::Status::Internal("send timed out");
       pollfd pfd{fd_, POLLOUT, 0};
-      ::poll(&pfd, 1, static_cast<int>(left));
+      ::poll(&pfd, 1, PollWaitMs(left));
       continue;
     }
     Close();
@@ -165,8 +170,11 @@ util::Status Client::ReadMore(int64_t deadline_ms) {
   const int64_t left = deadline_ms - NowMs();
   if (left <= 0) return util::Status::Internal("timed out waiting for reply");
   pollfd pfd{fd_, POLLIN, 0};
-  const int rc = ::poll(&pfd, 1, static_cast<int>(left));
+  const int rc = ::poll(&pfd, 1, PollWaitMs(left));
   if (rc < 0 && errno == EINTR) return util::Status::Ok();
+  // An injected clock's deadline has not necessarily passed when a short
+  // wall tick elapses; loop so the caller re-checks it against the clock.
+  if (rc == 0 && options_.clock != nullptr) return util::Status::Ok();
   if (rc <= 0) return util::Status::Internal("timed out waiting for reply");
   char buf[4096];
   const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
@@ -226,10 +234,7 @@ util::StatusOr<NetMessage> Client::ReadUntil(MessageType want,
 util::StatusOr<int64_t> Client::Submit(const SubmitQuery& query) {
   util::Status status = util::Status::Ok();
   for (int64_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.retry_backoff_ms));
-    }
+    if (attempt > 0) clock_->SleepMillis(options_.retry_backoff_ms);
     if (fd_ < 0) {
       status = Dial();
       if (status.ok()) status = Handshake();

@@ -24,13 +24,17 @@
 #include <string>
 
 #include "net/protocol.h"
+#include "util/clock.h"
 #include "util/status.h"
 
 namespace crowdtopk::net {
 
 struct ClientOptions {
   std::string host = "127.0.0.1";
-  int64_t port = 7117;
+  // Must be set to the server's bound port (Server::port(), or the
+  // "listening on 127.0.0.1:<port>" line the CLI prints — servers bind
+  // ephemeral ports by default). Connect refuses port <= 0.
+  int64_t port = 0;
   int64_t connect_timeout_ms = 5000;
   // Per-reply wait for request/reply calls (Submit, QueryStatus, Cancel,
   // Stats).
@@ -42,6 +46,10 @@ struct ClientOptions {
   // reply); 0 disables retrying.
   int64_t max_retries = 3;
   int64_t retry_backoff_ms = 50;
+  // Time source for deadlines and retry backoff. Null = wall clock; the
+  // simulation harness injects a util::SimClock (backoff then advances
+  // simulated time instead of sleeping).
+  const util::Clock* clock = nullptr;
 };
 
 class Client {
@@ -83,11 +91,18 @@ class Client {
   util::Status Handshake();
   util::Status SendMessage(const NetMessage& message);
   // Reads frames until one of `want` arrives, stashing kResult frames for
-  // other queries. deadline_ms is absolute (steady clock).
+  // other queries. deadline_ms is absolute on the client's clock.
   util::StatusOr<NetMessage> ReadUntil(MessageType want, int64_t deadline_ms);
   util::Status ReadMore(int64_t deadline_ms);
+  int64_t NowMs() const { return clock_->NowMillis(); }
+  // Wall-time bound for one poll(2) wait toward a deadline `left` ms away
+  // on the client's clock: `left` itself on the wall clock, a short tick
+  // under an injected clock (whose deadlines only move when the test
+  // advances them).
+  int PollWaitMs(int64_t left) const;
 
   ClientOptions options_;
+  const util::Clock* clock_;
   int fd_ = -1;
   FrameReader reader_;
   std::map<int64_t, Result> pending_results_;

@@ -50,12 +50,6 @@ constexpr size_t kWriteMax = 8u << 20;
 constexpr int64_t kMaxK = 10000;
 constexpr int64_t kMaxBudget = int64_t{1} << 30;
 
-int64_t NowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 }  // namespace
 
 DatasetFactory DefaultDatasetFactory() {
@@ -444,7 +438,10 @@ struct Server::Connection {
 
 class Server::Impl {
  public:
-  explicit Impl(const ServerOptions& options) : options_(options) {}
+  explicit Impl(const ServerOptions& options)
+      : options_(options),
+        clock_(options.clock != nullptr ? options.clock
+                                        : util::WallClock::Get()) {}
 
   ~Impl() {
     engine_.reset();  // joins the engine thread before fds close
@@ -615,8 +612,14 @@ class Server::Impl {
     ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   }
 
+  int64_t NowMs() const { return clock_->NowMillis(); }
+
   int PollTimeoutMs() const {
-    int64_t timeout = 200;  // re-check flags at least this often
+    // Under an injected (simulated) clock, deadlines move only when the
+    // test advances them; wake on a short wall tick so the loop observes
+    // those advances instead of sleeping out a wall-time translation of a
+    // simulated deadline.
+    int64_t timeout = options_.clock != nullptr ? 10 : 200;
     const int64_t now = NowMs();
     if (options_.idle_timeout_ms > 0) {
       for (const auto& [id, conn] : conns_) {
@@ -980,6 +983,7 @@ class Server::Impl {
   };
 
   const ServerOptions options_;
+  const util::Clock* clock_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::unique_ptr<BatchEngine> engine_;

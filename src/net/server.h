@@ -50,6 +50,7 @@
 #include "net/protocol.h"
 #include "serve/batch_scheduler.h"
 #include "serve/query_service.h"
+#include "util/clock.h"
 #include "util/status.h"
 
 namespace crowdtopk::net {
@@ -75,9 +76,11 @@ AlgorithmFactory DefaultAlgorithmFactory();
 ErrorCode MapRejectReason(serve::RejectReason reason);
 
 struct ServerOptions {
-  // TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back with
-  // port() — the CLI prints it, the smoke script parses it).
-  int64_t port = 7117;
+  // TCP port on 127.0.0.1; 0 (the default) binds a kernel-assigned
+  // ephemeral port — read it back with port() (the CLI prints it, the
+  // smoke script parses it), so concurrent servers never race on a fixed
+  // port. Set a positive port only for a long-lived deployment.
+  int64_t port = 0;
   int64_t max_connections = 64;
   // Connections with no traffic and no in-flight queries for this long
   // are closed; <= 0 disables.
@@ -100,6 +103,13 @@ struct ServerOptions {
   // Non-empty: write net/* telemetry counters (per connection and
   // aggregate) to <trace_dir>/net_server.trace.jsonl when Serve returns.
   std::string trace_dir;
+
+  // Time source for idle timeouts and the drain deadline. Null = wall
+  // clock. The simulation harness (src/sim) injects a util::SimClock so
+  // timeout behaviour is script-controlled; with a non-null clock the
+  // event loop polls on a short wall tick to observe simulated-time
+  // advances promptly.
+  const util::Clock* clock = nullptr;
 
   // Test injection points; null picks the defaults above.
   DatasetFactory dataset_factory;

@@ -1,0 +1,218 @@
+#include "sim/loopback.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/random.h"
+
+namespace crowdtopk::sim {
+
+namespace {
+
+// Seeded, printable-ish string: keeps failure dumps readable.
+std::string SeededString(util::Rng* rng, int64_t min_len, int64_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789_-";
+  int64_t len = rng->UniformInt(min_len, max_len);
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int64_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->UniformInt(0, 37)]);
+  }
+  return out;
+}
+
+net::NetMessage SampleMessage(net::MessageType type, util::Rng* rng) {
+  net::NetMessage m;
+  m.type = type;
+  switch (type) {
+    case net::MessageType::kHello:
+      // Keep the canonical magic/version: a corrupted handshake is the
+      // server's job to reject, not the codec's job to round-trip.
+      break;
+    case net::MessageType::kHelloAck:
+      break;
+    case net::MessageType::kSubmitQuery:
+      m.submit.dataset = SeededString(rng, 3, 12);
+      m.submit.k = rng->UniformInt(1, 50);
+      m.submit.algo = SeededString(rng, 3, 10);
+      m.submit.alpha = rng->Uniform(0.001, 0.2);
+      m.submit.budget = rng->Bernoulli(0.5) ? rng->UniformInt(1, 1000) : 0;
+      break;
+    case net::MessageType::kSubmitAck:
+      m.submit_ack.query_id = rng->UniformInt(0, 1 << 20);
+      break;
+    case net::MessageType::kStatusRequest:
+      m.status_request.query_id = rng->UniformInt(0, 1 << 20);
+      break;
+    case net::MessageType::kStatusReply:
+      m.status_reply.query_id = rng->UniformInt(0, 1 << 20);
+      m.status_reply.state =
+          static_cast<net::QueryState>(rng->UniformInt(0, 3));
+      break;
+    case net::MessageType::kResult: {
+      m.result.query_id = rng->UniformInt(0, 1 << 20);
+      m.result.status_code = static_cast<uint32_t>(rng->UniformInt(0, 7));
+      m.result.reject_reason = static_cast<uint8_t>(rng->UniformInt(0, 3));
+      if (m.result.status_code != 0) m.result.message = SeededString(rng, 0, 20);
+      int64_t n = rng->UniformInt(0, 16);
+      for (int64_t i = 0; i < n; ++i) {
+        m.result.items.push_back(
+            static_cast<int32_t>(rng->UniformInt(0, 1000)));
+      }
+      m.result.precision_at_k = rng->Uniform();
+      m.result.total_microtasks = rng->UniformInt(0, 100000);
+      m.result.rounds = rng->UniformInt(0, 500);
+      m.result.latency_seconds = rng->Uniform(0.0, 1e4);
+      m.result.queue_wait_seconds = rng->Uniform(0.0, 1e3);
+      break;
+    }
+    case net::MessageType::kCancel:
+      m.cancel.query_id = rng->UniformInt(0, 1 << 20);
+      break;
+    case net::MessageType::kCancelAck:
+      m.cancel_ack.query_id = rng->UniformInt(0, 1 << 20);
+      m.cancel_ack.cancelled = rng->Bernoulli(0.5);
+      break;
+    case net::MessageType::kStatsRequest:
+      break;
+    case net::MessageType::kStatsReply:
+      m.stats_reply.draining = rng->Bernoulli(0.5);
+      m.stats_reply.active_connections = rng->UniformInt(0, 64);
+      m.stats_reply.accepted_connections = rng->UniformInt(0, 10000);
+      m.stats_reply.rejected_connections = rng->UniformInt(0, 100);
+      m.stats_reply.idle_closed = rng->UniformInt(0, 100);
+      m.stats_reply.frames_in = rng->UniformInt(0, 1 << 20);
+      m.stats_reply.frames_out = rng->UniformInt(0, 1 << 20);
+      m.stats_reply.bytes_in = rng->UniformInt(0, 1 << 30);
+      m.stats_reply.bytes_out = rng->UniformInt(0, 1 << 30);
+      m.stats_reply.crc_errors = rng->UniformInt(0, 10);
+      m.stats_reply.malformed_frames = rng->UniformInt(0, 10);
+      m.stats_reply.version_mismatches = rng->UniformInt(0, 10);
+      m.stats_reply.queries_submitted = rng->UniformInt(0, 100000);
+      m.stats_reply.queries_completed = rng->UniformInt(0, 100000);
+      m.stats_reply.queries_rejected = rng->UniformInt(0, 1000);
+      m.stats_reply.queries_cancelled = rng->UniformInt(0, 1000);
+      m.stats_reply.batches = rng->UniformInt(0, 10000);
+      break;
+    case net::MessageType::kError:
+      m.error.code = static_cast<net::ErrorCode>(rng->UniformInt(1, 7));
+      m.error.query_id = rng->Bernoulli(0.5) ? rng->UniformInt(0, 1 << 20) : -1;
+      m.error.message = SeededString(rng, 0, 24);
+      break;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<net::NetMessage> SampleMessages(uint64_t seed, int64_t count) {
+  static constexpr net::MessageType kAllTypes[] = {
+      net::MessageType::kHello,         net::MessageType::kHelloAck,
+      net::MessageType::kSubmitQuery,   net::MessageType::kSubmitAck,
+      net::MessageType::kStatusRequest, net::MessageType::kStatusReply,
+      net::MessageType::kResult,        net::MessageType::kCancel,
+      net::MessageType::kCancelAck,     net::MessageType::kStatsRequest,
+      net::MessageType::kStatsReply,    net::MessageType::kError,
+  };
+  constexpr int64_t kNumTypes =
+      static_cast<int64_t>(sizeof(kAllTypes) / sizeof(kAllTypes[0]));
+  std::vector<net::NetMessage> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    // Per-message child stream: message i's content does not depend on how
+    // many random draws message i-1 consumed.
+    util::Rng rng(util::SplitSeed(seed, static_cast<uint64_t>(i)));
+    out.push_back(SampleMessage(kAllTypes[i % kNumTypes], &rng));
+  }
+  return out;
+}
+
+FramedStream FrameStream(const std::vector<net::NetMessage>& messages) {
+  FramedStream stream;
+  stream.frame_offsets.reserve(messages.size());
+  stream.payloads.reserve(messages.size());
+  for (const net::NetMessage& m : messages) {
+    stream.frame_offsets.push_back(stream.bytes.size());
+    std::string payload = net::EncodeMessage(m);
+    stream.bytes += net::FramePayload(payload);
+    stream.payloads.push_back(std::move(payload));
+  }
+  return stream;
+}
+
+Delivery DeliverByteStream(const std::string& bytes, uint64_t split_seed) {
+  util::Rng rng(split_seed);
+  Delivery delivery;
+  net::FrameReader reader;
+  size_t pos = 0;
+  bool done = false;
+  while (pos < bytes.size() && !done) {
+    size_t chunk = static_cast<size_t>(rng.UniformInt(1, 16));
+    chunk = std::min(chunk, bytes.size() - pos);
+    delivery.chunks.push_back(chunk);
+    reader.Append(bytes.data() + pos, chunk);
+    pos += chunk;
+    for (;;) {
+      std::string payload;
+      net::FrameReader::Next next = reader.Pop(&payload);
+      if (next == net::FrameReader::Next::kFrame) {
+        delivery.payloads.push_back(std::move(payload));
+        continue;
+      }
+      if (next == net::FrameReader::Next::kCorrupt) {
+        delivery.corrupt = true;
+        done = true;  // a real connection closes here
+      } else if (next == net::FrameReader::Next::kOversized) {
+        delivery.oversized = true;
+        done = true;
+      }
+      break;  // kNeedMore: wait for the next chunk
+    }
+  }
+  return delivery;
+}
+
+size_t FlipBit(FramedStream* stream, size_t frame_index, uint64_t seed) {
+  frame_index = std::min(frame_index, stream->frame_offsets.size() - 1);
+  size_t frame_start = stream->frame_offsets[frame_index];
+  // CRC-protected region: the 4 CRC bytes plus the payload. Flipping the
+  // length prefix instead would be a *different* failure (desync or
+  // oversized), so stay past byte 4 of the header.
+  size_t region_start = frame_start + 4;
+  size_t frame_end = frame_index + 1 < stream->frame_offsets.size()
+                         ? stream->frame_offsets[frame_index + 1]
+                         : stream->bytes.size();
+  util::Rng rng(seed);
+  size_t offset = region_start + static_cast<size_t>(rng.UniformInt(
+                                     0, static_cast<int64_t>(
+                                            frame_end - region_start - 1)));
+  int bit = static_cast<int>(rng.UniformInt(0, 7));
+  stream->bytes[offset] = static_cast<char>(
+      static_cast<unsigned char>(stream->bytes[offset]) ^ (1u << bit));
+  return offset;
+}
+
+void TruncateTail(FramedStream* stream, size_t bytes) {
+  if (stream->bytes.empty()) return;
+  size_t last_frame = stream->frame_offsets.back();
+  // Keep at least the previous frames intact but guarantee the final frame
+  // loses at least one byte.
+  size_t max_cut = stream->bytes.size() - last_frame;
+  size_t cut = std::clamp<size_t>(bytes, 1, max_cut);
+  stream->bytes.resize(stream->bytes.size() - cut);
+  stream->payloads.pop_back();  // the final payload can no longer arrive
+}
+
+void InflateLength(FramedStream* stream, size_t frame_index,
+                   uint32_t max_payload) {
+  frame_index = std::min(frame_index, stream->frame_offsets.size() - 1);
+  size_t frame_start = stream->frame_offsets[frame_index];
+  uint32_t bogus = max_payload + 1;
+  for (int i = 0; i < 4; ++i) {  // little-endian, same as util::Encoder
+    stream->bytes[frame_start + static_cast<size_t>(i)] =
+        static_cast<char>((bogus >> (8 * i)) & 0xff);
+  }
+}
+
+}  // namespace crowdtopk::sim

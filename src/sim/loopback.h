@@ -1,0 +1,72 @@
+// In-process loopback transport for wire-codec fuzzing.
+//
+// Real sockets deliver a framed stream in arbitrary chunks; the
+// net::FrameReader must reassemble the same frames no matter where the
+// kernel split them. This transport makes that property testable without
+// sockets: it feeds a framed byte stream into a FrameReader at seeded
+// split points (including pathological 1-byte deliveries across the
+// length/CRC header) and reports exactly which payloads came out and which
+// terminal classification — if any — the reader reached. Corruption
+// helpers mangle a stream the way the chaos schedule asks (bit flips,
+// truncation, oversized length prefixes) while recording where, so the
+// invariant layer can assert the reader never delivers a frame past the
+// mangled point.
+
+#ifndef CROWDTOPK_SIM_LOOPBACK_H_
+#define CROWDTOPK_SIM_LOOPBACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace crowdtopk::sim {
+
+// A framed stream plus the byte offset where each frame starts, so
+// corruption can target frame `index` precisely.
+struct FramedStream {
+  std::string bytes;
+  std::vector<size_t> frame_offsets;  // one per message, ascending
+  std::vector<std::string> payloads;  // the unframed payloads, in order
+};
+
+// One seeded message per protocol type, field values drawn from `seed` —
+// covers every codec path with reproducible content. `count` > number of
+// types keeps cycling with fresh seeded values.
+std::vector<net::NetMessage> SampleMessages(uint64_t seed, int64_t count);
+
+// Encodes and frames `messages` into one contiguous stream.
+FramedStream FrameStream(const std::vector<net::NetMessage>& messages);
+
+// What came out of the FrameReader after the whole stream was delivered.
+struct Delivery {
+  std::vector<std::string> payloads;  // complete payloads, in order
+  bool corrupt = false;               // reader hit kCorrupt
+  bool oversized = false;             // reader hit kOversized
+  // Chunk sizes used, for failure reports ("split 3|1|1|40|...").
+  std::vector<size_t> chunks;
+};
+
+// Feeds `bytes` into a fresh FrameReader in seeded chunks (1..16 bytes,
+// drawn from `split_seed`) and pops greedily after every chunk.
+Delivery DeliverByteStream(const std::string& bytes, uint64_t split_seed);
+
+// ----- corruption operators (chaos schedule building blocks) -------------
+
+// Flips one seeded bit inside frame `frame_index`'s CRC-protected region
+// (header CRC or payload). Returns the flipped byte offset.
+size_t FlipBit(FramedStream* stream, size_t frame_index, uint64_t seed);
+
+// Drops the last `bytes` bytes (clamped to leave at least one byte of the
+// final frame missing).
+void TruncateTail(FramedStream* stream, size_t bytes);
+
+// Rewrites frame `frame_index`'s length prefix to max_payload + 1 (the
+// reader must classify kOversized before trusting the length).
+void InflateLength(FramedStream* stream, size_t frame_index,
+                   uint32_t max_payload = net::kMaxFramePayload);
+
+}  // namespace crowdtopk::sim
+
+#endif  // CROWDTOPK_SIM_LOOPBACK_H_

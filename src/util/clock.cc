@@ -1,0 +1,23 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace crowdtopk::util {
+
+int64_t WallClock::NowMillis() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WallClock::SleepMillis(int64_t ms) const {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+const WallClock* WallClock::Get() {
+  static const WallClock clock;
+  return &clock;
+}
+
+}  // namespace crowdtopk::util

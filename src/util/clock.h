@@ -1,0 +1,75 @@
+// Injectable time source.
+//
+// The serving replay, scheduler, and persistence layers run entirely on
+// *simulated* seconds and never consult the wall clock; the network layer
+// (src/net) is the one place real time leaks in — idle timeouts, drain
+// deadlines, client retry backoff. Threading a Clock through those call
+// sites lets the deterministic simulation harness (src/sim,
+// docs/SIMULATION.md) replace wall time with a manually advanced SimClock,
+// so timeout behaviour becomes a pure function of the test script instead
+// of machine load.
+//
+// Null clock pointers in options structs mean "wall clock": production
+// callers never construct one.
+
+#ifndef CROWDTOPK_UTIL_CLOCK_H_
+#define CROWDTOPK_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace crowdtopk::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic milliseconds. Only differences are meaningful; the epoch is
+  // unspecified (steady_clock for the wall implementation, 0 for a fresh
+  // SimClock).
+  virtual int64_t NowMillis() const = 0;
+
+  // Blocks the caller for `ms` of *this clock's* time. The wall clock
+  // really sleeps; a SimClock advances itself instead, so seeded retry
+  // backoff costs no wall time under simulation.
+  virtual void SleepMillis(int64_t ms) const = 0;
+};
+
+// The production clock (std::chrono::steady_clock). Stateless; use the
+// shared instance.
+class WallClock : public Clock {
+ public:
+  int64_t NowMillis() const override;
+  void SleepMillis(int64_t ms) const override;
+
+  static const WallClock* Get();
+};
+
+// Manually advanced clock for deterministic tests. Starts at 0; thread-safe
+// (the net event loop reads it from the network thread while a test
+// advances it from another).
+class SimClock : public Clock {
+ public:
+  SimClock() = default;
+  explicit SimClock(int64_t start_ms) : now_ms_(start_ms) {}
+
+  int64_t NowMillis() const override {
+    return now_ms_.load(std::memory_order_acquire);
+  }
+  // "Sleeping" on simulated time is advancing it.
+  void SleepMillis(int64_t ms) const override { AdvanceMillis(ms); }
+
+  void AdvanceMillis(int64_t ms) const {
+    now_ms_.fetch_add(ms, std::memory_order_acq_rel);
+  }
+  void SetMillis(int64_t ms) const {
+    now_ms_.store(ms, std::memory_order_release);
+  }
+
+ private:
+  mutable std::atomic<int64_t> now_ms_{0};
+};
+
+}  // namespace crowdtopk::util
+
+#endif  // CROWDTOPK_UTIL_CLOCK_H_

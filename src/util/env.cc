@@ -15,16 +15,28 @@ namespace {
 
 std::atomic<int64_t> env_warnings{0};
 
+// Once-per-key registry behind WarnBadValueOnce. Hoisted out of the
+// function (and leaked, never destroyed) so tests can reset it between
+// cases: without the reset, whether a repeated-parse test observes a
+// warning depends on which earlier test touched the same variable first.
+std::mutex& WarnedMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::set<std::string>& WarnedKeys() {
+  static std::set<std::string>* warned = new std::set<std::string>();
+  return *warned;
+}
+
 // Numeric env values must parse in full: "4x" silently becoming 4 hides
 // typos in knobs like CROWDTOPK_JOBS. Rejected values fall back to the
 // default and warn on stderr once per variable name per process, so a
 // bench looping over configurations does not flood its report.
 void WarnBadValueOnce(const std::string& name, const char* value,
                       const char* kind) {
-  static std::mutex mutex;
-  static std::set<std::string>* warned = new std::set<std::string>();
-  std::lock_guard<std::mutex> lock(mutex);
-  if (!warned->insert(name).second) return;
+  std::lock_guard<std::mutex> lock(WarnedMutex());
+  if (!WarnedKeys().insert(name).second) return;
   env_warnings.fetch_add(1, std::memory_order_relaxed);
   std::fprintf(stderr,
                "crowdtopk: ignoring %s='%s' (not a valid %s); "
@@ -138,7 +150,7 @@ int64_t PersistKillBarrier() {
   return GetEnvInt64("CROWDTOPK_PERSIST_KILL_BARRIER", -1);
 }
 
-int64_t NetPort() { return GetEnvInt64("CROWDTOPK_NET_PORT", 7117); }
+int64_t NetPort() { return GetEnvInt64("CROWDTOPK_NET_PORT", 0); }
 
 int64_t NetMaxConns() { return GetEnvInt64("CROWDTOPK_NET_MAX_CONNS", 64); }
 
@@ -153,6 +165,11 @@ int64_t NetDrainTimeoutMs() {
 namespace internal {
 int64_t EnvWarningCountForTest() {
   return env_warnings.load(std::memory_order_relaxed);
+}
+
+void ResetEnvWarningsForTest() {
+  std::lock_guard<std::mutex> lock(WarnedMutex());
+  WarnedKeys().clear();
 }
 }  // namespace internal
 

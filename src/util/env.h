@@ -112,9 +112,11 @@ int64_t PersistKillBarrier();
 
 // ----- network front-end knobs (src/net, docs/NETWORK.md) ----------------
 
-// TCP port the server binds on 127.0.0.1 (CROWDTOPK_NET_PORT, default
-// 7117). 0 picks an ephemeral port; the CLI prints the bound port either
-// way, which is what the smoke scripts parse.
+// TCP port the server binds on 127.0.0.1 (CROWDTOPK_NET_PORT, default 0 =
+// kernel-assigned ephemeral port, so concurrent test runs never collide on
+// a fixed port or a TIME_WAIT leftover). The CLI prints the bound port
+// either way, which is what the smoke scripts parse; clients (the loadgen)
+// must be pointed at that printed port explicitly.
 int64_t NetPort();
 
 // Connection bound (CROWDTOPK_NET_MAX_CONNS, default 64): connections past
@@ -136,6 +138,12 @@ namespace internal {
 // Exposed so tests can assert the warn-once-per-variable contract without
 // scraping stderr.
 int64_t EnvWarningCountForTest();
+
+// Clears the once-per-variable registry (not the counter above), so the
+// next bad parse of any variable warns again. Tests that assert "warns
+// exactly once" call this first; without it their outcome would depend on
+// which earlier test happened to touch the same variable.
+void ResetEnvWarningsForTest();
 }  // namespace internal
 
 }  // namespace crowdtopk::util

@@ -235,6 +235,37 @@ TEST(NetProtocolTest, GoldenFrameBytes) {
   EXPECT_EQ(frames, SampleMessages().size());
 }
 
+// Round trip through the pinned bytes: decode every golden frame,
+// re-encode the decoded message, and byte-diff the rebuilt stream against
+// the golden. GoldenFrameBytes pins encode(fresh structs); this pins
+// encode(decode(x)) == x, so a lossy decoder (a dropped field, a default
+// silently substituted) fails even though fresh renders still match.
+TEST(NetProtocolTest, GoldenFrameBytesReencodeByteIdentically) {
+  if (util::GetEnvBool("CROWDTOPK_UPDATE_GOLDEN", false)) {
+    GTEST_SKIP() << "goldens being regenerated; see GoldenFrameBytes";
+  }
+  const std::string golden_path =
+      std::string(CROWDTOPK_GOLDEN_DIR) + "/net_frames.bin";
+  std::string golden;
+  ASSERT_TRUE(util::ReadFileToString(golden_path, &golden).ok())
+      << "missing " << golden_path
+      << " — regenerate with CROWDTOPK_UPDATE_GOLDEN=1";
+
+  FrameReader reader;
+  reader.Append(golden);
+  std::string payload, rebuilt;
+  size_t frames = 0;
+  while (reader.Pop(&payload) == FrameReader::Next::kFrame) {
+    NetMessage m;
+    ASSERT_TRUE(DecodeMessage(payload, &m)) << "frame " << frames;
+    rebuilt += FrameMessage(m);
+    ++frames;
+  }
+  ASSERT_EQ(frames, SampleMessages().size());
+  EXPECT_EQ(rebuilt, golden)
+      << "decode -> encode is not the identity on the pinned wire bytes";
+}
+
 TEST(NetProtocolTest, TruncatedFrameNeedsMoreBytes) {
   const std::string frame = FrameMessage(SampleMessages()[2]);
   for (size_t cut = 0; cut < frame.size(); ++cut) {

@@ -4,6 +4,7 @@
 // overflow, and bit-identity of the serve report across worker counts.
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -402,6 +403,127 @@ TEST(ReportTest, JsonlMatchesGoldenFile) {
   EXPECT_EQ(rendered, golden)
       << "ServeReport JSONL schema drifted; if intentional, regenerate the "
          "golden with CROWDTOPK_UPDATE_GOLDEN=1 and commit it";
+}
+
+// ----- golden JSONL round trip ---------------------------------------------
+
+// Raw value text of `"key":` in one fixed-schema JSONL line: the quoted
+// body for strings, the bracketed body for arrays, the token up to the
+// next delimiter otherwise. The schema is printf-generated with a fixed
+// key order, so plain substring extraction is exact.
+std::string JsonValue(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "no \"" << key << "\" in: " << line;
+  if (pos == std::string::npos) return "";
+  const size_t begin = pos + needle.size();
+  if (line[begin] == '"') {
+    const size_t end = line.find('"', begin + 1);
+    return line.substr(begin + 1, end - begin - 1);
+  }
+  if (line[begin] == '[') {
+    const size_t end = line.find(']', begin);
+    return line.substr(begin, end - begin + 1);
+  }
+  return line.substr(begin, line.find_first_of(",}", begin) - begin);
+}
+
+int64_t JsonInt(const std::string& line, const std::string& key) {
+  return std::strtoll(JsonValue(line, key).c_str(), nullptr, 10);
+}
+
+double JsonDouble(const std::string& line, const std::string& key) {
+  return std::strtod(JsonValue(line, key).c_str(), nullptr);
+}
+
+// Round trip through the pinned report: parse the golden JSONL back into
+// ServeReport + QueryOutcome structs, re-render, and byte-diff against the
+// golden. JsonlMatchesGoldenFile pins render(fresh replay); this pins
+// render(parse(x)) == x, so the schema stays faithfully parseable — a
+// consumer can reconstruct every rendered field, including the %.6f
+// doubles, with no information lost to formatting.
+TEST(ReportTest, GoldenJsonlReparsesAndRerendersByteIdentically) {
+  if (util::GetEnvBool("CROWDTOPK_UPDATE_GOLDEN", false)) {
+    GTEST_SKIP() << "goldens being regenerated; see JsonlMatchesGoldenFile";
+  }
+  const std::string golden_path =
+      std::string(CROWDTOPK_GOLDEN_DIR) + "/serve_report.jsonl";
+  std::string golden;
+  ASSERT_TRUE(util::ReadFileToString(golden_path, &golden).ok())
+      << "missing " << golden_path
+      << " — run once with CROWDTOPK_UPDATE_GOLDEN=1";
+
+  ServeReport report;
+  std::vector<QueryOutcome> outcomes;
+  size_t pos = 0;
+  while (pos < golden.size()) {
+    const size_t eol = golden.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "golden must end with a newline";
+    const std::string line = golden.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::string record = JsonValue(line, "record");
+    if (record == "summary") {
+      report.queries = JsonInt(line, "queries");
+      report.completed = JsonInt(line, "completed");
+      report.failed = JsonInt(line, "failed");
+      report.rejected = JsonInt(line, "rejected");
+      report.makespan_seconds = JsonDouble(line, "makespan_seconds");
+      report.total_rounds = JsonInt(line, "total_rounds");
+      report.throughput_per_hour = JsonDouble(line, "throughput_per_hour");
+      report.total_microtasks = JsonInt(line, "total_microtasks");
+      report.mean_queue_wait_seconds =
+          JsonDouble(line, "mean_queue_wait_seconds");
+      report.mean_precision = JsonDouble(line, "mean_precision");
+      report.p50_rounds = JsonDouble(line, "p50_rounds");
+      report.p95_rounds = JsonDouble(line, "p95_rounds");
+      report.p99_rounds = JsonDouble(line, "p99_rounds");
+      report.p50_seconds = JsonDouble(line, "p50_seconds");
+      report.p95_seconds = JsonDouble(line, "p95_seconds");
+      report.p99_seconds = JsonDouble(line, "p99_seconds");
+      report.assignments.scheduled = JsonInt(line, "assignments_scheduled");
+      report.assignments.completed = JsonInt(line, "assignments_completed");
+      report.assignments.expired = JsonInt(line, "assignments_expired");
+      report.assignments.requeued = JsonInt(line, "assignments_requeued");
+      report.assignments.failed = JsonInt(line, "assignments_failed");
+      continue;
+    }
+    ASSERT_EQ(record, "query") << line;
+    QueryOutcome o;
+    o.query_id = JsonInt(line, "query_id");
+    o.algorithm = JsonValue(line, "algorithm");
+    const std::string status = JsonValue(line, "status");
+    o.rejected = status == "REJECTED";
+    if (status == "FAILED") o.status = util::Status::Internal("parsed");
+    o.arrival_seconds = JsonDouble(line, "arrival_seconds");
+    o.start_seconds = JsonDouble(line, "start_seconds");
+    o.finish_seconds = JsonDouble(line, "finish_seconds");
+    o.latency_seconds = JsonDouble(line, "latency_seconds");
+    o.rounds_observed = JsonInt(line, "rounds_observed");
+    o.rounds_private = JsonInt(line, "rounds_private");
+    o.total_microtasks = JsonInt(line, "total_microtasks");
+    o.expired_assignments = JsonInt(line, "expired_assignments");
+    o.requeued_assignments = JsonInt(line, "requeued_assignments");
+    o.precision_at_k = JsonDouble(line, "precision_at_k");
+    o.cache_hits = JsonInt(line, "cache_hits");
+    o.cache_topups = JsonInt(line, "cache_topups");
+    o.cache_inferred = JsonInt(line, "cache_inferred");
+    o.cache_misses = JsonInt(line, "cache_misses");
+    std::string items = JsonValue(line, "items");
+    ASSERT_GE(items.size(), 2u) << line;
+    items = items.substr(1, items.size() - 2);  // strip [ ]
+    for (size_t start = 0; start < items.size();) {
+      size_t comma = items.find(',', start);
+      if (comma == std::string::npos) comma = items.size();
+      o.items.push_back(static_cast<crowd::ItemId>(
+          std::strtoll(items.substr(start, comma - start).c_str(), nullptr,
+                       10)));
+      start = comma + 1;
+    }
+    outcomes.push_back(std::move(o));
+  }
+  ASSERT_GT(outcomes.size(), 0u);
+  EXPECT_EQ(RenderServeReportJsonl(report, outcomes), golden)
+      << "parse -> render is not the identity on the pinned report";
 }
 
 // Nearest-rank percentile sanity.

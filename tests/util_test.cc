@@ -310,6 +310,24 @@ TEST(EnvTest, BadValueWarnsOncePerVariable) {
   ::unsetenv("CROWDTOPK_TEST_WARN_TWICE");
 }
 
+TEST(EnvTest, ResetClearsTheWarnOnceRegistry) {
+  ::setenv("CROWDTOPK_TEST_WARN_RESET", "junk", 1);
+  GetEnvInt64("CROWDTOPK_TEST_WARN_RESET", 7);  // registry now holds the name
+  const int64_t before = internal::EnvWarningCountForTest();
+  GetEnvInt64("CROWDTOPK_TEST_WARN_RESET", 7);
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before);  // still suppressed
+
+  // Reset clears the per-variable registry but not the running counter, so
+  // the same bad value warns again — the isolation hook tests rely on for
+  // order-independent warn-once assertions.
+  internal::ResetEnvWarningsForTest();
+  GetEnvInt64("CROWDTOPK_TEST_WARN_RESET", 7);
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before + 1);
+  GetEnvInt64("CROWDTOPK_TEST_WARN_RESET", 7);
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before + 1);
+  ::unsetenv("CROWDTOPK_TEST_WARN_RESET");
+}
+
 TEST(EnvTest, StringFallback) {
   ::unsetenv("CROWDTOPK_TEST_STR");
   EXPECT_EQ(GetEnvString("CROWDTOPK_TEST_STR", "imdb"), "imdb");

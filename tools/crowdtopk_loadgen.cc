@@ -44,7 +44,7 @@ never wall clock).
 
 Target
   CROWDTOPK_NET_HOST        server host                (default 127.0.0.1)
-  CROWDTOPK_NET_PORT        server port                (default 7117)
+  CROWDTOPK_NET_PORT        server's bound port        (required; no default)
 
 Workload knobs
   CROWDTOPK_LOADGEN_QUERIES queries in the trace             (default 24)
@@ -123,6 +123,13 @@ int main(int argc, char** argv) {
   net::ClientOptions client_options;
   client_options.host = util::GetEnvString("CROWDTOPK_NET_HOST", "127.0.0.1");
   client_options.port = util::NetPort();
+  if (client_options.port <= 0) {
+    std::fprintf(stderr,
+                 "crowdtopk_loadgen: CROWDTOPK_NET_PORT must be the server's "
+                 "bound port (the server binds an ephemeral port by default "
+                 "and prints 'listening on 127.0.0.1:<port>')\n");
+    return 1;
+  }
 
   const int64_t queries = util::GetEnvInt64("CROWDTOPK_LOADGEN_QUERIES", 24);
   const double rate = util::GetEnvDouble("CROWDTOPK_LOADGEN_RATE", 0.01);

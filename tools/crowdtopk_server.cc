@@ -31,7 +31,7 @@ docs/NETWORK.md). SIGTERM/SIGINT drain gracefully: in-flight queries
 finish, new ones are refused with UNAVAILABLE.
 
 Network knobs
-  CROWDTOPK_NET_PORT             TCP port; 0 = ephemeral    (default 7117)
+  CROWDTOPK_NET_PORT             TCP port; 0 = ephemeral    (default 0)
   CROWDTOPK_NET_MAX_CONNS        connection bound           (default 64)
   CROWDTOPK_NET_IDLE_TIMEOUT_MS  idle-connection close, <=0 off (60000)
   CROWDTOPK_NET_DRAIN_TIMEOUT_MS drain budget on SIGTERM    (default 30000)

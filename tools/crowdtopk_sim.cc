@@ -1,0 +1,209 @@
+// crowdtopk_sim: deterministic simulation harness driver (docs/SIMULATION.md).
+//
+// Sweeps N seeded chaos episodes through the full serving stack — each
+// episode replays one trace cold/wide/cached/uncached/persisted/crashed/
+// resumed/warm, fuzzes the wire codec, and checks every cross-layer
+// invariant. On a violation the failing episode is shrunk to a minimal
+// still-failing spec and a copy-pasteable replay command is printed.
+//
+//   crowdtopk_sim --seeds 64              # CI sweep (exit 1 on violation)
+//   crowdtopk_sim --seed 12345            # one derived episode
+//   crowdtopk_sim --episode 'seed=...'    # replay a printed spec verbatim
+//   crowdtopk_sim --seeds 8 --mutate seed-drift   # must fail (harness test)
+//
+// Exit codes: 0 all invariants hold, 1 violations found, 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/chaos.h"
+#include "sim/harness.h"
+#include "util/env.h"
+#include "util/file_io.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace crowdtopk;
+
+constexpr char kHelp[] = R"(crowdtopk_sim [options]
+
+Deterministic simulation harness: seeded chaos episodes over the full
+serving stack with cross-layer invariant checking, seed shrinking, and
+replay (docs/SIMULATION.md).
+
+  --seeds N          sweep N episodes (episode i = DeriveEpisode(
+                     SplitSeed(master, i)))               (default 16)
+  --master S         master seed of the sweep     (default 20170514)
+  --seed X           run the single episode derived from seed X
+  --episode SPEC     replay a key=value episode spec verbatim (the
+                     format failure reports print)
+  --mutate NAME      inject a deliberate determinism bug into every
+                     episode: seed-drift | cache-leak | wire-flip —
+                     the harness MUST catch it (acceptance test)
+  --no-shrink        print the raw failing episode without minimising
+  --scratch DIR      scratch directory for persist chaos
+                     (default $TMPDIR/crowdtopk_sim or /tmp/crowdtopk_sim)
+
+Exit codes: 0 clean, 1 invariant violation, 2 usage error.
+)";
+
+void ApplyMutation(sim::Episode* episode, const std::string& mutation) {
+  episode->mutation = mutation;
+  if (mutation == "cache-leak") {
+    // The capacity-0 ablation only runs for cached episodes.
+    episode->cache_enabled = true;
+  } else if (mutation == "wire-flip") {
+    if (episode->wire_trials < 1) episode->wire_trials = 1;
+  }
+}
+
+void PrintViolations(const std::vector<sim::Violation>& violations) {
+  for (const sim::Violation& v : violations) {
+    std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+  }
+}
+
+// Shrinks (unless told not to), prints the minimal spec + replay line, and
+// returns the process exit code contribution.
+void ReportFailure(const sim::Episode& episode,
+                   const std::vector<sim::Violation>& violations,
+                   bool shrink, const std::string& scratch) {
+  std::printf("episode seed=%llu FAILED (%zu violations):\n",
+              static_cast<unsigned long long>(episode.seed),
+              violations.size());
+  PrintViolations(violations);
+  sim::Episode minimal = episode;
+  std::vector<sim::Violation> minimal_violations = violations;
+  if (shrink) {
+    std::printf("shrinking...\n");
+    minimal = sim::ShrinkEpisode(episode, scratch, &minimal_violations);
+    std::printf("minimal episode (%zu violations):\n",
+                minimal_violations.size());
+    PrintViolations(minimal_violations);
+  }
+  std::printf("spec:   %s\n", sim::ToSpec(minimal).c_str());
+  std::printf("replay: %s\n", sim::ReplayCommand(minimal).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t seeds = 16;
+  uint64_t master = 20170514;
+  bool have_single_seed = false;
+  uint64_t single_seed = 0;
+  std::string episode_spec;
+  std::string mutation;
+  bool shrink = true;
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string scratch =
+      std::string(tmpdir != nullptr && tmpdir[0] != '\0' ? tmpdir : "/tmp") +
+      "/crowdtopk_sim";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value (try --help)\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kHelp);
+      return 0;
+    } else if (arg == "--seeds") {
+      seeds = std::strtoll(next("--seeds"), nullptr, 10);
+    } else if (arg == "--master") {
+      master = std::strtoull(next("--master"), nullptr, 10);
+    } else if (arg == "--seed") {
+      have_single_seed = true;
+      single_seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (arg == "--episode") {
+      episode_spec = next("--episode");
+    } else if (arg == "--mutate") {
+      mutation = next("--mutate");
+      if (mutation != "seed-drift" && mutation != "cache-leak" &&
+          mutation != "wire-flip") {
+        std::fprintf(stderr, "unknown --mutate %s (try --help)\n",
+                     mutation.c_str());
+        return 2;
+      }
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--scratch") {
+      scratch = next("--scratch");
+    } else {
+      std::fprintf(stderr, "unknown argument %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!util::EnsureDirectory(scratch).ok()) {
+    std::fprintf(stderr, "cannot create scratch directory %s\n",
+                 scratch.c_str());
+    return 2;
+  }
+
+  // Single-episode modes: --episode replays a spec verbatim; --seed derives.
+  if (!episode_spec.empty() || have_single_seed) {
+    sim::Episode episode;
+    if (!episode_spec.empty()) {
+      util::StatusOr<sim::Episode> parsed = sim::EpisodeFromSpec(episode_spec);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--episode: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      episode = parsed.value();
+    } else {
+      episode = sim::DeriveEpisode(single_seed);
+    }
+    if (!mutation.empty()) ApplyMutation(&episode, mutation);
+    std::printf("episode: %s\n", sim::ToSpec(episode).c_str());
+    const std::vector<sim::Violation> violations =
+        sim::RunEpisode(episode, scratch + "/single");
+    if (violations.empty()) {
+      std::printf("all invariants hold\n");
+      return 0;
+    }
+    ReportFailure(episode, violations, shrink, scratch);
+    return 1;
+  }
+
+  // Sweep mode.
+  std::printf("crowdtopk_sim: sweeping %lld episodes, master seed %llu%s\n",
+              static_cast<long long>(seeds),
+              static_cast<unsigned long long>(master),
+              mutation.empty() ? "" : (", mutation " + mutation).c_str());
+  int64_t failures = 0;
+  for (int64_t i = 0; i < seeds; ++i) {
+    sim::Episode episode =
+        sim::DeriveEpisode(util::SplitSeed(master, static_cast<uint64_t>(i)));
+    if (!mutation.empty()) ApplyMutation(&episode, mutation);
+    const std::vector<sim::Violation> violations =
+        sim::RunEpisode(episode, scratch + "/ep" + std::to_string(i));
+    if (violations.empty()) {
+      std::printf("episode %lld/%lld seed=%llu ok\n",
+                  static_cast<long long>(i + 1),
+                  static_cast<long long>(seeds),
+                  static_cast<unsigned long long>(episode.seed));
+      continue;
+    }
+    ++failures;
+    std::printf("episode %lld/%lld ", static_cast<long long>(i + 1),
+                static_cast<long long>(seeds));
+    ReportFailure(episode, violations, shrink, scratch);
+  }
+  if (failures == 0) {
+    std::printf("sweep clean: %lld episodes, zero invariant violations\n",
+                static_cast<long long>(seeds));
+    return 0;
+  }
+  std::printf("sweep found %lld failing episodes\n",
+              static_cast<long long>(failures));
+  return 1;
+}
