@@ -55,6 +55,7 @@ void Client::Close() {
 
 util::Status Client::Dial() {
   Close();
+  if (++dials_ > 1) ++redials_;
   if (options_.port <= 0) {
     return util::Status::InvalidArgument(
         "client port must be the server's bound port (servers bind "
@@ -130,7 +131,10 @@ util::Status Client::Handshake() {
 util::Status Client::Connect() {
   util::Status status = util::Status::Ok();
   for (int64_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    if (attempt > 0) clock_->SleepMillis(options_.retry_backoff_ms);
+    if (attempt > 0) {
+      ++retries_;
+      clock_->SleepMillis(options_.retry_backoff_ms);
+    }
     status = Dial();
     if (status.ok()) status = Handshake();
     if (status.ok() || !Retryable(status)) return status;
@@ -234,7 +238,10 @@ util::StatusOr<NetMessage> Client::ReadUntil(MessageType want,
 util::StatusOr<int64_t> Client::Submit(const SubmitQuery& query) {
   util::Status status = util::Status::Ok();
   for (int64_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    if (attempt > 0) clock_->SleepMillis(options_.retry_backoff_ms);
+    if (attempt > 0) {
+      ++retries_;
+      clock_->SleepMillis(options_.retry_backoff_ms);
+    }
     if (fd_ < 0) {
       status = Dial();
       if (status.ok()) status = Handshake();

@@ -86,6 +86,13 @@ class Client {
   // Live server counters.
   util::StatusOr<StatsReply> Stats();
 
+  // Lifetime retry traffic of this client: `retries` counts backed-off
+  // re-attempts inside Connect/Submit (attempt > 0), `redials` counts TCP
+  // dials beyond the first. A router surfaces the sums over its upstream
+  // clients in StatsReply::client_retries / client_redials.
+  int64_t retries() const { return retries_; }
+  int64_t redials() const { return redials_; }
+
  private:
   util::Status Dial();
   util::Status Handshake();
@@ -106,6 +113,9 @@ class Client {
   int fd_ = -1;
   FrameReader reader_;
   std::map<int64_t, Result> pending_results_;
+  int64_t retries_ = 0;
+  int64_t redials_ = 0;
+  int64_t dials_ = 0;
 };
 
 }  // namespace crowdtopk::net

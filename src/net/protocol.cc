@@ -25,6 +25,7 @@ void EncodeBody(const NetMessage& m, Encoder* enc) {
       enc->PutString(m.submit.algo);
       enc->PutDouble(m.submit.alpha);
       enc->PutI64(m.submit.budget);
+      enc->PutI64(m.submit.seed_stream);
       return;
     case MessageType::kSubmitAck:
       enc->PutI64(m.submit_ack.query_id);
@@ -49,6 +50,7 @@ void EncodeBody(const NetMessage& m, Encoder* enc) {
       enc->PutI64(r.rounds);
       enc->PutDouble(r.latency_seconds);
       enc->PutDouble(r.queue_wait_seconds);
+      enc->PutI64(r.shard_id);
       return;
     }
     case MessageType::kCancel:
@@ -79,6 +81,8 @@ void EncodeBody(const NetMessage& m, Encoder* enc) {
       enc->PutI64(s.queries_rejected);
       enc->PutI64(s.queries_cancelled);
       enc->PutI64(s.batches);
+      enc->PutI64(s.client_retries);
+      enc->PutI64(s.client_redials);
       return;
     }
     case MessageType::kError:
@@ -102,7 +106,8 @@ bool DecodeBody(MessageType type, Decoder* dec, NetMessage* out) {
              dec->GetI64(&out->submit.k) &&
              dec->GetString(&out->submit.algo) &&
              dec->GetDouble(&out->submit.alpha) &&
-             dec->GetI64(&out->submit.budget);
+             dec->GetI64(&out->submit.budget) &&
+             dec->GetI64(&out->submit.seed_stream);
     case MessageType::kSubmitAck:
       return dec->GetI64(&out->submit_ack.query_id);
     case MessageType::kStatusRequest:
@@ -134,7 +139,8 @@ bool DecodeBody(MessageType type, Decoder* dec, NetMessage* out) {
       return dec->GetDouble(&r.precision_at_k) &&
              dec->GetI64(&r.total_microtasks) && dec->GetI64(&r.rounds) &&
              dec->GetDouble(&r.latency_seconds) &&
-             dec->GetDouble(&r.queue_wait_seconds);
+             dec->GetDouble(&r.queue_wait_seconds) &&
+             dec->GetI64(&r.shard_id);
     }
     case MessageType::kCancel:
       return dec->GetI64(&out->cancel.query_id);
@@ -165,7 +171,8 @@ bool DecodeBody(MessageType type, Decoder* dec, NetMessage* out) {
              dec->GetI64(&s.queries_submitted) &&
              dec->GetI64(&s.queries_completed) &&
              dec->GetI64(&s.queries_rejected) &&
-             dec->GetI64(&s.queries_cancelled) && dec->GetI64(&s.batches);
+             dec->GetI64(&s.queries_cancelled) && dec->GetI64(&s.batches) &&
+             dec->GetI64(&s.client_retries) && dec->GetI64(&s.client_redials);
     }
     case MessageType::kError: {
       uint8_t code;

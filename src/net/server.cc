@@ -101,19 +101,11 @@ ErrorCode MapRejectReason(serve::RejectReason reason) {
 // Owns query execution: accepted submissions queue FIFO, the engine thread
 // drains the queue into a batch, replays it through one
 // serve::QueryService, and posts completions back for the network thread
-// to deliver. See the architecture note in server.h.
-class BatchEngine {
+// to deliver. See the architecture note in server.h. The default
+// net::Engine implementation; src/shard swaps in a multi-shard router
+// through ServerOptions::engine_factory.
+class BatchEngine : public Engine {
  public:
-  struct Completion {
-    int64_t conn_id = 0;
-    int64_t query_id = 0;
-    // Rejected at admission: deliver an error frame instead of a result.
-    bool send_error = false;
-    ErrorCode error_code = ErrorCode::kInternal;
-    std::string error_message;
-    Result result;
-  };
-
   BatchEngine(const ServerOptions& options, std::function<void()> wake)
       : options_(options),
         dataset_factory_(options.dataset_factory ? options.dataset_factory
@@ -124,7 +116,7 @@ class BatchEngine {
         wake_(std::move(wake)),
         thread_([this] { ThreadMain(); }) {}
 
-  ~BatchEngine() {
+  ~BatchEngine() override {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stop_ = true;
@@ -135,7 +127,8 @@ class BatchEngine {
 
   // Validates and queues one submission; returns the assigned query id.
   // Called on the network thread.
-  util::StatusOr<int64_t> Submit(int64_t conn_id, const SubmitQuery& spec) {
+  util::StatusOr<int64_t> Submit(int64_t conn_id,
+                                 const SubmitQuery& spec) override {
     if (spec.k < 1 || spec.k > kMaxK) {
       return util::Status::InvalidArgument("k out of range");
     }
@@ -167,6 +160,7 @@ class BatchEngine {
     Record& record = records_[id];
     record.conn_id = conn_id;
     record.k = spec.k;
+    record.seed_stream = spec.seed_stream;
     record.dataset = dataset;
     record.algorithm = algorithm;
     record.state = QueryState::kQueued;
@@ -175,7 +169,7 @@ class BatchEngine {
     return id;
   }
 
-  QueryState State(int64_t query_id) const {
+  QueryState State(int64_t query_id) const override {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = records_.find(query_id);
     if (it != records_.end()) return it->second.state;
@@ -184,7 +178,7 @@ class BatchEngine {
 
   // Removes a still-queued query. On success fills the submitter's conn id
   // so the server can clear its pending bookkeeping.
-  bool Cancel(int64_t query_id, int64_t* submitter_conn) {
+  bool Cancel(int64_t query_id, int64_t* submitter_conn) override {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = records_.find(query_id);
     if (it == records_.end() || it->second.state != QueryState::kQueued) {
@@ -199,7 +193,7 @@ class BatchEngine {
   // Stops accepting work and lets the queue run dry. Submissions are
   // refused by the server before they reach Submit, but the engine refuses
   // too, in case of races.
-  void BeginDrain() {
+  void BeginDrain() override {
     std::lock_guard<std::mutex> lock(mu_);
     draining_ = true;
     cv_.notify_all();
@@ -207,7 +201,7 @@ class BatchEngine {
 
   // Drain-deadline path: reject everything still waiting for a batch. The
   // batch in flight (if any) always completes.
-  void AbortQueued() {
+  void AbortQueued() override {
     std::lock_guard<std::mutex> lock(mu_);
     for (const int64_t id : queue_) {
       Completion c;
@@ -223,7 +217,7 @@ class BatchEngine {
     cv_.notify_all();
   }
 
-  std::vector<Completion> TakeCompletions() {
+  std::vector<Completion> TakeCompletions() override {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<Completion> taken = std::move(completions_);
     completions_.clear();
@@ -232,17 +226,17 @@ class BatchEngine {
 
   // True once a drain has consumed everything: no queued or running
   // queries remain and no completions await delivery.
-  bool Drained() const {
+  bool Drained() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return draining_ && queue_.empty() && !running_ && completions_.empty();
   }
 
-  int64_t queued() const {
+  int64_t queued() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int64_t>(queue_.size());
   }
 
-  int64_t batches() const {
+  int64_t batches() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return batches_;
   }
@@ -251,6 +245,7 @@ class BatchEngine {
   struct Record {
     int64_t conn_id = 0;
     int64_t k = 10;
+    int64_t seed_stream = -1;
     const data::Dataset* dataset = nullptr;
     core::TopKAlgorithm* algorithm = nullptr;
     QueryState state = QueryState::kQueued;
@@ -310,12 +305,15 @@ class BatchEngine {
       queue_.clear();
       std::vector<serve::QueryRequest> requests(ids.size());
       std::vector<int64_t> conn_ids(ids.size());
+      bool all_stamped = true;
       for (size_t i = 0; i < ids.size(); ++i) {
         Record& record = records_[ids[i]];
         record.state = QueryState::kRunning;
         requests[i].algorithm = record.algorithm;
         requests[i].dataset = record.dataset;
         requests[i].k = record.k;
+        requests[i].seed_stream = record.seed_stream;
+        if (record.seed_stream < 0) all_stamped = false;
         conn_ids[i] = record.conn_id;
       }
       const int64_t batch_index = batches_;
@@ -332,8 +330,14 @@ class BatchEngine {
       serve_options.max_inflight = options_.max_inflight;
       serve_options.max_queue = options_.max_queue;
       serve_options.jobs = options_.jobs;
+      // Router-stamped batches run under the constant master seed: every
+      // stream is then keyed by the stamped global id, so the outcome does
+      // not depend on which batch (or shard) the query landed in. Unstamped
+      // batches keep the classic per-batch split.
       serve_options.seed =
-          util::SplitSeed(options_.seed, kBatchStream + batch_index);
+          all_stamped && !ids.empty()
+              ? options_.seed
+              : util::SplitSeed(options_.seed, kBatchStream + batch_index);
       serve_options.cache = options_.cache;
       serve_options.warm_cache = std::move(warm);
       serve::QueryService service(serve_options);
@@ -486,10 +490,13 @@ class Server::Impl {
     *bound_port = ntohs(addr.sin_port);
 
     const int wake_fd = wake_pipe_[1];
-    engine_ = std::make_unique<BatchEngine>(options_, [wake_fd] {
+    std::function<void()> wake = [wake_fd] {
       const char byte = 1;
       [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
-    });
+    };
+    engine_ = options_.engine_factory != nullptr
+                  ? options_.engine_factory(options_, std::move(wake))
+                  : std::make_unique<BatchEngine>(options_, std::move(wake));
     return util::Status::Ok();
   }
 
@@ -603,6 +610,8 @@ class Server::Impl {
     s.queries_rejected = rejected_queries_.load(std::memory_order_relaxed);
     s.queries_cancelled = cancelled_.load(std::memory_order_relaxed);
     s.batches = engine_ ? engine_->batches() : 0;
+    s.client_retries = engine_ ? engine_->upstream_retries() : 0;
+    s.client_redials = engine_ ? engine_->upstream_redials() : 0;
     return s;
   }
 
@@ -848,7 +857,7 @@ class Server::Impl {
   }
 
   void DeliverCompletions() {
-    for (BatchEngine::Completion& c : engine_->TakeCompletions()) {
+    for (Completion& c : engine_->TakeCompletions()) {
       const auto it = conns_.find(c.conn_id);
       if (c.send_error) {
         rejected_queries_.fetch_add(1, std::memory_order_relaxed);
@@ -958,6 +967,8 @@ class Server::Impl {
     record("net/queries_rejected", s.queries_rejected);
     record("net/queries_cancelled", s.queries_cancelled);
     record("net/batches", s.batches);
+    record("net/client_retries", s.client_retries);
+    record("net/client_redials", s.client_redials);
     for (const ClosedConnStats& c : closed_conn_stats_) {
       const std::string prefix = "net/conn" + std::to_string(c.id) + "/";
       record(prefix + "frames_in", c.frames_in);
@@ -986,7 +997,7 @@ class Server::Impl {
   const util::Clock* clock_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
-  std::unique_ptr<BatchEngine> engine_;
+  std::unique_ptr<Engine> engine_;
 
   // Network-thread state.
   std::map<int64_t, Connection> conns_;

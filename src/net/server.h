@@ -47,6 +47,7 @@
 #include "core/topk_algorithm.h"
 #include "data/dataset.h"
 #include "judgment/comparison.h"
+#include "net/engine.h"
 #include "net/protocol.h"
 #include "serve/batch_scheduler.h"
 #include "serve/query_service.h"
@@ -74,6 +75,14 @@ AlgorithmFactory DefaultAlgorithmFactory();
 // Maps a serve-layer admission rejection onto the wire error taxonomy —
 // the machine-readable path that replaces string-matching the status.
 ErrorCode MapRejectReason(serve::RejectReason reason);
+
+struct ServerOptions;
+
+// Builds the engine the front-end drives (net/engine.h). `wake` must be
+// called after posting completions so the poll loop picks them up; it is
+// async-safe (a self-pipe write). Null picks the built-in BatchEngine.
+using EngineFactory = std::function<std::unique_ptr<Engine>(
+    const ServerOptions& options, std::function<void()> wake)>;
 
 struct ServerOptions {
   // TCP port on 127.0.0.1; 0 (the default) binds a kernel-assigned
@@ -114,6 +123,10 @@ struct ServerOptions {
   // Test injection points; null picks the defaults above.
   DatasetFactory dataset_factory;
   AlgorithmFactory algorithm_factory;
+  // Execution engine behind the front-end; null = the single-process
+  // BatchEngine. crowdtopk_router injects shard::RouterEngine here and
+  // reuses the whole socket/drain front-end unchanged.
+  EngineFactory engine_factory;
 };
 
 class Server {

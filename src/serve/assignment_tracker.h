@@ -33,6 +33,7 @@ namespace crowdtopk::serve {
 // Identity and state of one outsourced microtask.
 struct Assignment {
   int64_t query_id = 0;
+  int64_t seed_stream = 0;  // latency-stream key (defaults to query_id)
   int64_t request_seq = 0;  // per-query purchase sequence number
   int64_t task_index = 0;   // unit index within that purchase
   crowd::ItemId item_i = 0;

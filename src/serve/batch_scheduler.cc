@@ -38,10 +38,11 @@ BatchScheduler::BatchScheduler(const ScheduleOptions& options, uint64_t seed,
                   0.5 * options.task_time_sigma * options.task_time_sigma;
 }
 
-void BatchScheduler::AdmitQuery(int64_t query_id) {
+void BatchScheduler::AdmitQuery(int64_t query_id, int64_t seed_stream) {
   std::lock_guard<std::mutex> lock(mutex_);
   CROWDTOPK_CHECK(queries_.find(query_id) == queries_.end());
   QueryState& q = queries_[query_id];
+  q.seed_stream = seed_stream >= 0 ? seed_stream : query_id;
   q.barrier_round = round_;
   q.stats.admitted_round = round_;
   q.stats.admitted_seconds = now_seconds_;
@@ -104,6 +105,7 @@ void BatchScheduler::PostPurchase(int64_t query_id, crowd::ItemId i,
   for (int64_t t = 0; t < count; ++t) {
     Assignment assignment;
     assignment.query_id = query_id;
+    assignment.seed_stream = q.seed_stream;
     assignment.request_seq = request_seq;
     assignment.task_index = t;
     assignment.item_i = i;
@@ -144,8 +146,10 @@ BatchScheduler::AttemptOutcome BatchScheduler::SimulateAttempt(
     const Assignment& assignment) const {
   // Pure function of (scheduler seed, assignment identity, attempt): the
   // same microtask retried later, or simulated on a different thread,
-  // always draws the same worker.
-  uint64_t seed = util::SplitSeed(seed_, assignment.query_id);
+  // always draws the same worker. The stream key is the query's seed_stream
+  // (== query_id unless a router overrode it), so a re-dispatched query
+  // meets the same workers on its new shard.
+  uint64_t seed = util::SplitSeed(seed_, assignment.seed_stream);
   seed = util::SplitSeed(seed, assignment.request_seq);
   seed = util::SplitSeed(seed, assignment.task_index);
   seed = util::SplitSeed(seed, assignment.attempt);

@@ -97,8 +97,11 @@ class BatchScheduler {
   // ----- service-thread interface -------------------------------------
 
   // Registers query `query_id` and counts its driver as running. Call
-  // before launching the driver thread.
-  void AdmitQuery(int64_t query_id);
+  // before launching the driver thread. `seed_stream` keys the query's
+  // worker-latency stream (QueryRequest::seed_stream; pass the query id
+  // for the classic local behaviour — the default keeps old callers
+  // byte-identical).
+  void AdmitQuery(int64_t query_id, int64_t seed_stream = -1);
 
   // Blocks until every admitted driver is parked or finished.
   void WaitQuiescent();
@@ -141,6 +144,7 @@ class BatchScheduler {
 
  private:
   struct QueryState {
+    int64_t seed_stream = 0;  // latency-stream key (global id under a router)
     bool parked = false;
     bool finished = false;
     int64_t posted = 0;     // microtasks registered via PostPurchase

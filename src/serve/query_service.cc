@@ -67,6 +67,7 @@ uint64_t ConfigFingerprint(const ServeOptions& options,
   for (size_t i = 0; i < requests.size(); ++i) {
     enc.PutI64(requests[i].k);
     enc.PutI64(requests[i].cache_universe);
+    enc.PutI64(requests[i].seed_stream);
     enc.PutString(requests[i].algorithm->name());
     enc.PutU32(static_cast<uint32_t>(requests[i].cache_item_ids.size()));
     for (const crowd::ItemId id : requests[i].cache_item_ids) enc.PutI32(id);
@@ -222,7 +223,10 @@ std::vector<QueryOutcome> QueryService::Replay(
     while (!admission.empty() && inflight < options_.max_inflight) {
       const int64_t id = admission.front();
       admission.pop_front();
-      scheduler_->AdmitQuery(id);
+      const int64_t stream = requests[id].seed_stream >= 0
+                                 ? requests[id].seed_stream
+                                 : id;
+      scheduler_->AdmitQuery(id, stream);
       ++inflight;
       inflight_ids.push_back(id);
       if (persist_ != nullptr) persist_->OnAdmit(id);
@@ -403,8 +407,10 @@ void QueryService::WritePersistTrace() const {
 
 void QueryService::DriverMain(int64_t query_id) {
   const QueryRequest& request = (*requests_)[query_id];
+  const int64_t stream =
+      request.seed_stream >= 0 ? request.seed_stream : query_id;
   AsyncPlatform platform(request.dataset,
-                         util::SplitSeed(judgment_seed_, query_id),
+                         util::SplitSeed(judgment_seed_, stream),
                          scheduler_.get(), query_id);
   telemetry::TraceRecorder recorder;
   const bool tracing = !options_.trace_dir.empty();

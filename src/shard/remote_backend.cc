@@ -1,0 +1,94 @@
+#include "shard/remote_backend.h"
+
+#include <utility>
+
+namespace crowdtopk::shard {
+namespace {
+
+// Errors that condemn the query, not the shard: the server answered, it
+// just refused this submission. Anything else (UNAVAILABLE after the
+// client's bounded retries, a hangup mid-reply) means the shard is gone.
+bool QueryLevelError(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kInvalidArgument:
+    case util::StatusCode::kNotFound:
+    case util::StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+util::StatusOr<ShardBatchResult> RemoteShardBackend::RunBatch(
+    const std::vector<RoutedQuery>& batch) {
+  if (dead_) {
+    return util::Status::Unavailable("shard is dead");
+  }
+  if (!connected_) {
+    const util::Status status = client_->Connect();
+    if (!status.ok()) {
+      dead_ = true;
+      return status;
+    }
+    connected_ = true;
+  }
+
+  ShardBatchResult result;
+  result.results.resize(batch.size());
+  // Submit everything first so the server batches the queries together,
+  // then await in submission order.
+  std::vector<int64_t> remote_ids(batch.size(), -1);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const RoutedQuery& q = batch[i];
+    net::SubmitQuery submit;
+    submit.dataset = q.dataset;
+    submit.k = q.k;
+    submit.algo = q.algo;
+    submit.alpha = q.alpha;
+    submit.budget = q.budget;
+    submit.seed_stream = q.global_id;
+    util::StatusOr<int64_t> submitted = client_->Submit(submit);
+    result.results[i].global_id = q.global_id;
+    if (submitted.ok()) {
+      remote_ids[i] = *submitted;
+    } else if (QueryLevelError(submitted.status())) {
+      result.results[i].status = submitted.status();
+    } else {
+      dead_ = true;
+      return submitted.status();
+    }
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (remote_ids[i] < 0) continue;  // refused at submission
+    util::StatusOr<net::Result> awaited = client_->AwaitResult(remote_ids[i]);
+    if (!awaited.ok()) {
+      if (QueryLevelError(awaited.status())) {
+        result.results[i].status = awaited.status();
+        continue;
+      }
+      dead_ = true;
+      return awaited.status();
+    }
+    const net::Result& r = *awaited;
+    ShardQueryResult& out = result.results[i];
+    out.status = util::Status(static_cast<util::StatusCode>(r.status_code),
+                              r.message);
+    out.items.assign(r.items.begin(), r.items.end());
+    out.precision_at_k = r.precision_at_k;
+    out.total_microtasks = r.total_microtasks;
+    out.rounds_observed = r.rounds;
+    out.latency_seconds = r.latency_seconds;
+    out.queue_wait_seconds = r.queue_wait_seconds;
+    // rounds_private / expired / requeued do not travel on the wire;
+    // they stay zero for remote shards (noted in docs/SHARDING.md).
+    result.microtasks += r.total_microtasks;
+  }
+  ++batches_run_;
+  queries_run_ += static_cast<int64_t>(batch.size());
+  microtasks_ += result.microtasks;
+  return result;
+}
+
+}  // namespace crowdtopk::shard

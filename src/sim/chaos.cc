@@ -137,6 +137,12 @@ Episode DeriveEpisode(uint64_t seed) {
                                     : WireCorruption::kOversized;
 
   e.check_verify = root.Split(8).Bernoulli(0.25);
+
+  util::Rng shard = root.Split(9);
+  if (shard.Bernoulli(0.4)) {
+    e.shards = shard.UniformInt(2, 4);
+    e.shard_kill = shard.Bernoulli(0.5);
+  }
   return e;
 }
 
@@ -206,6 +212,8 @@ std::string ToSpec(const Episode& e) {
   AppendKv(&s, "wire", FmtI(e.wire_trials));
   AppendKv(&s, "corrupt", FmtI(static_cast<int32_t>(e.wire_corruption)));
   AppendKv(&s, "verify", FmtI(e.check_verify ? 1 : 0));
+  AppendKv(&s, "shards", FmtI(e.shards));
+  AppendKv(&s, "shardkill", FmtI(e.shard_kill ? 1 : 0));
   AppendKv(&s, "mutation", e.mutation);
   return s;
 }
@@ -327,6 +335,10 @@ util::StatusOr<Episode> EpisodeFromSpec(const std::string& spec) {
       if (ok) e.wire_corruption = static_cast<WireCorruption>(corrupt);
     } else if (key == "verify") {
       ok = ParseB(value, &e.check_verify);
+    } else if (key == "shards") {
+      ok = ParseI(value, &e.shards);
+    } else if (key == "shardkill") {
+      ok = ParseB(value, &e.shard_kill);
     } else if (key == "mutation") {
       e.mutation = value;
     } else {

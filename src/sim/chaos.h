@@ -91,6 +91,14 @@ struct Episode {
   int64_t wire_trials = 2;  // clean split-point trials per episode
   WireCorruption wire_corruption = WireCorruption::kNone;
 
+  // ----- shard scatter (src/shard) ---------------------------------------
+  // >= 2 replays the trace through a ShardRouter over this many local
+  // shards and checks the merged table against a 1-shard run; <= 1 off.
+  int64_t shards = 0;
+  // Kill the first query's primary shard on its first sub-batch; every
+  // query must still complete, byte-identically, via failover.
+  bool shard_kill = false;
+
   // ----- invariant families ---------------------------------------------
   bool check_verify = false;  // Monte-Carlo guarantee check (expensive)
 

@@ -199,6 +199,8 @@ Episode NormalizeEpisode(const Episode& episode) {
   e.jobs_a = std::clamp<int64_t>(e.jobs_a, 1, 16);
   e.jobs_b = std::clamp<int64_t>(e.jobs_b, 1, 16);
   e.wire_trials = std::clamp<int64_t>(e.wire_trials, 0, 16);
+  e.shards = std::clamp<int64_t>(e.shards, 0, 8);
+  if (e.shards < 2) e.shard_kill = false;
   return e;
 }
 
@@ -292,9 +294,10 @@ std::vector<Violation> RunEpisode(const Episode& episode,
     }
   }
 
-  // --- wire + verify families -------------------------------------------
+  // --- wire + verify + shard families -----------------------------------
   CheckWireTrials(e, &violations);
   if (e.check_verify) CheckVerifyPreservation(e, &violations);
+  CheckShardScatter(e, &violations);
 
   return violations;
 }
@@ -335,6 +338,8 @@ Episode ShrinkEpisode(const Episode& failing, const std::string& scratch_dir,
         e->wire_corruption = WireCorruption::kNone;
       },
       [](Episode* e) { e->check_verify = false; },
+      [](Episode* e) { e->shard_kill = false; },
+      [](Episode* e) { e->shards = 0; },
       [](Episode* e) { e->torn_tail_bytes = 0; },
       [](Episode* e) { e->halt_after_barrier = -1; },
       [](Episode* e) { e->persist_enabled = false; },

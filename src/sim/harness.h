@@ -49,10 +49,11 @@ SweepResult SweepSeeds(uint64_t master_seed, int64_t count,
                        const std::string& scratch_dir);
 
 // Greedy shrink: disables chaos dimensions and halves the workload while
-// the episode keeps failing, in a fixed order (wire -> verify -> torn tail
-// -> halt -> persist -> transitivity -> capacity -> cache -> faults ->
-// queries -> items -> jobs -> algorithms). Deterministic; returns the
-// minimal still-failing episode and (optionally) its violations.
+// the episode keeps failing, in a fixed order (wire -> verify -> shard
+// kill -> shards -> torn tail -> halt -> persist -> transitivity ->
+// capacity -> cache -> faults -> queries -> items -> jobs -> algorithms).
+// Deterministic; returns the minimal still-failing episode and
+// (optionally) its violations.
 Episode ShrinkEpisode(const Episode& failing, const std::string& scratch_dir,
                       std::vector<Violation>* violations = nullptr);
 

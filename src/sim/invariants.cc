@@ -5,9 +5,17 @@
 #include <set>
 #include <utility>
 
+#include "baselines/heap_sort.h"
+#include "baselines/quick_select.h"
+#include "baselines/tournament_tree.h"
+#include "core/spr.h"
 #include "exec/run_engine.h"
 #include "persist/format.h"
 #include "persist/wal.h"
+#include "shard/hash.h"
+#include "shard/local_backend.h"
+#include "shard/report.h"
+#include "shard/router.h"
 #include "sim/environment.h"
 #include "sim/loopback.h"
 #include "util/file_io.h"
@@ -346,6 +354,157 @@ void CheckVerifyPreservation(const Episode& episode,
     out->push_back({kName, "clean crowd failed its own contract: error_rate=" +
                                std::to_string(a.error_rate) + " over " +
                                I64(a.trials) + " trials"});
+  }
+}
+
+namespace {
+
+// The harness's algorithm rotation (harness.cc MakeAlgorithm), with the
+// placement-key name each index routes under.
+constexpr const char* kShardAlgoNames[] = {"spr", "heapsort", "quickselect",
+                                           "tourtree"};
+
+std::unique_ptr<core::TopKAlgorithm> MakeShardAlgorithm(
+    int64_t index, const judgment::ComparisonOptions& comparison) {
+  switch (index % 4) {
+    case 0: {
+      core::SprOptions spr_options;
+      spr_options.comparison = comparison;
+      return std::make_unique<core::Spr>(spr_options);
+    }
+    case 1:
+      return std::make_unique<baselines::HeapSortTopK>(comparison);
+    case 2:
+      return std::make_unique<baselines::QuickSelectTopK>(comparison);
+    default:
+      return std::make_unique<baselines::TournamentTree>(comparison);
+  }
+}
+
+struct ShardReplay {
+  std::vector<shard::RoutedOutcome> outcomes;
+  shard::RouterCounters counters;
+  std::string table;  // shard::RenderMergedTable
+};
+
+// One router replay of the episode's trace over `shards` local shards;
+// `kill_shard` >= 0 injects a death on that shard's first sub-batch. The
+// cache is forced off: cache visibility depends on co-placement, so only
+// uncached replays are comparable across shard counts.
+ShardReplay RunShardReplay(const Episode& e, int64_t shards,
+                           int64_t kill_shard) {
+  const SimEnvironment env(e.seed);
+  const std::unique_ptr<data::Dataset> dataset =
+      MakeEpisodeDataset(e, env.StreamSeed(Stream::kFaults));
+
+  judgment::ComparisonOptions comparison;
+  comparison.alpha = e.alpha;
+  comparison.budget = 500;
+  std::vector<std::unique_ptr<core::TopKAlgorithm>> algorithms;
+  for (int64_t a = 0; a < e.algorithms; ++a) {
+    algorithms.push_back(MakeShardAlgorithm(a, comparison));
+  }
+
+  std::vector<shard::RoutedQuery> queries(static_cast<size_t>(e.queries));
+  for (int64_t q = 0; q < e.queries; ++q) {
+    shard::RoutedQuery& routed = queries[static_cast<size_t>(q)];
+    routed.global_id = q;
+    routed.dataset = "sim_ladder";
+    routed.algo = kShardAlgoNames[q % e.algorithms % 4];
+    routed.k = e.k;
+    routed.alpha = e.alpha;
+    routed.universe = 0;
+    routed.dataset_ptr = dataset.get();
+    routed.algorithm = algorithms[static_cast<size_t>(q % e.algorithms)].get();
+  }
+
+  std::vector<std::unique_ptr<shard::ShardBackend>> backends;
+  for (int64_t s = 0; s < shards; ++s) {
+    shard::LocalShardBackend::Options backend_options;
+    backend_options.seed = env.StreamSeed(Stream::kReplay);
+    backend_options.schedule.crowd_workers = e.crowd_workers;
+    backend_options.schedule.per_pair_batch = e.per_pair_batch;
+    backend_options.schedule.deadline_seconds = e.deadline_seconds;
+    backend_options.schedule.abandon_probability = e.abandon_probability;
+    backend_options.schedule.no_show_probability =
+        fault::NoShowProbability(e.FaultPlanFor());
+    backend_options.schedule.max_attempts = e.max_attempts;
+    backend_options.max_inflight = e.max_inflight;
+    backend_options.jobs = 1;
+    if (s == kill_shard) backend_options.fail_at_batch = 1;
+    backends.push_back(
+        std::make_unique<shard::LocalShardBackend>(backend_options));
+  }
+
+  shard::RouterOptions router_options;
+  router_options.policy = shard::Policy::kRendezvous;
+  shard::ShardRouter router(router_options, std::move(backends));
+
+  ShardReplay replay;
+  replay.outcomes = router.RouteBatch(std::move(queries));
+  replay.counters = router.counters();
+  replay.table = shard::RenderMergedTable(replay.outcomes);
+  return replay;
+}
+
+}  // namespace
+
+void CheckShardScatter(const Episode& episode, std::vector<Violation>* out) {
+  if (episode.shards < 2 || episode.queries < 1) return;
+
+  const ShardReplay one = RunShardReplay(episode, 1, /*kill_shard=*/-1);
+  const ShardReplay many =
+      RunShardReplay(episode, episode.shards, /*kill_shard=*/-1);
+  CompareBlobs("shard-scatter-identity",
+               "shards=1 vs shards=" + I64(episode.shards), "merged table",
+               one.table, many.table, out);
+
+  if (!episode.shard_kill) return;
+  constexpr char kName[] = "shard-failover-completes";
+  // Kill the first query's primary so the injected death is guaranteed to
+  // cost a sub-batch in wave 1 and exercise re-dispatch.
+  const shard::RoutedQuery& first = many.outcomes.front().query;
+  const int64_t victim =
+      shard::RankShards(
+          shard::PlacementKey{first.universe, first.dataset, first.algo},
+          episode.shards, shard::Policy::kRendezvous)
+          .front();
+  const ShardReplay killed = RunShardReplay(episode, episode.shards, victim);
+
+  CompareBlobs(kName, "healthy vs shard " + I64(victim) + " killed",
+               "merged table", many.table, killed.table, out);
+  int64_t repurchased = 0;
+  for (const shard::RoutedOutcome& o : killed.outcomes) {
+    if (o.shard_id < 0) {
+      out->push_back({kName, "query " + I64(o.query.global_id) +
+                                 " never executed: " +
+                                 o.result.status.ToString()});
+    } else if (o.shard_id == victim) {
+      out->push_back({kName, "query " + I64(o.query.global_id) +
+                                 " reported by the dead shard"});
+    }
+    if (o.redispatches > 0) repurchased += o.result.total_microtasks;
+  }
+  const shard::RouterCounters& c = killed.counters;
+  if (c.shard_failures < 1 || c.redispatched_queries < 1) {
+    out->push_back({kName, "injected death never fired (failures=" +
+                               I64(c.shard_failures) + ", redispatched=" +
+                               I64(c.redispatched_queries) + ")"});
+  }
+  if (c.exhausted_queries != 0) {
+    out->push_back({kName, I64(c.exhausted_queries) +
+                               " queries exhausted their re-dispatch budget "
+                               "with healthy shards remaining"});
+  }
+  if (c.redispatched_queries > episode.queries * 2) {
+    out->push_back({kName, "re-dispatches over budget: " +
+                               I64(c.redispatched_queries) + " for " +
+                               I64(episode.queries) + " queries"});
+  }
+  if (c.repurchased_microtasks != repurchased) {
+    out->push_back({kName, "re-purchase accounting mismatch: counter " +
+                               I64(c.repurchased_microtasks) +
+                               " vs outcomes " + I64(repurchased)});
   }
 }
 

@@ -23,6 +23,11 @@
 //                              corruption is classified, never delivered
 //   verify-preservation        verify: guarantee checks are engine-width
 //                              independent and the clean crowd passes
+//   shard-scatter-identity     shard: the merged pure-column table of a
+//                              K-shard router replay equals the 1-shard one
+//   shard-failover-completes   shard: a shard killed mid-batch loses no
+//                              admitted query; re-purchased crowd work
+//                              stays within the re-dispatch budget
 
 #ifndef CROWDTOPK_SIM_INVARIANTS_H_
 #define CROWDTOPK_SIM_INVARIANTS_H_
@@ -94,6 +99,17 @@ void CheckWireTrials(const Episode& episode, std::vector<Violation>* out);
 // 2-worker engine — reports must match field-for-field and pass.
 void CheckVerifyPreservation(const Episode& episode,
                              std::vector<Violation>* out);
+
+// Shard family (episode.shards >= 2, cache forced off — cache visibility
+// depends on co-placement): replays the episode's trace through a
+// shard::ShardRouter over K local shards and over one, and compares the
+// merged pure-column tables byte-for-byte (shard-scatter-identity). With
+// episode.shard_kill, a third replay kills the first query's primary
+// shard on its first sub-batch: every query must still complete with the
+// same table bytes, no query may land on the dead shard, and the
+// re-dispatch / re-purchase counters must stay within budget
+// (shard-failover-completes).
+void CheckShardScatter(const Episode& episode, std::vector<Violation>* out);
 
 }  // namespace crowdtopk::sim
 

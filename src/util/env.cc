@@ -162,6 +162,38 @@ int64_t NetDrainTimeoutMs() {
   return GetEnvInt64("CROWDTOPK_NET_DRAIN_TIMEOUT_MS", 30000);
 }
 
+int64_t ShardCount() {
+  const int64_t shards = GetEnvInt64("CROWDTOPK_SHARDS", 1);
+  return shards < 1 ? 1 : shards;
+}
+
+std::string ShardPolicy() {
+  const char* value = std::getenv("CROWDTOPK_SHARD_POLICY");
+  if (value == nullptr || *value == '\0') return "rendezvous";
+  const std::string policy = value;
+  if (policy != "rendezvous" && policy != "modulo") {
+    // Same strict-parse contract as the numeric knobs: a typo falls back
+    // to the default and warns once instead of silently routing wrong.
+    WarnBadValueOnce("CROWDTOPK_SHARD_POLICY", value, "placement policy");
+    return "rendezvous";
+  }
+  return policy;
+}
+
+bool ShardCacheSync() {
+  return GetEnvBool("CROWDTOPK_SHARD_CACHE_SYNC", false);
+}
+
+int64_t ShardRedispatch() {
+  return GetEnvInt64("CROWDTOPK_SHARD_REDISPATCH", 2);
+}
+
+int64_t ShardFail() { return GetEnvInt64("CROWDTOPK_SHARD_FAIL", -1); }
+
+int64_t ShardFailAfterBatches() {
+  return GetEnvInt64("CROWDTOPK_SHARD_FAIL_AFTER", 1);
+}
+
 namespace internal {
 int64_t EnvWarningCountForTest() {
   return env_warnings.load(std::memory_order_relaxed);

@@ -133,6 +133,35 @@ int64_t NetIdleTimeoutMs();
 // flushes replies for at most this long before exiting anyway.
 int64_t NetDrainTimeoutMs();
 
+// ----- sharded scale-out knobs (src/shard, docs/SHARDING.md) --------------
+
+// Engine shards behind the router (CROWDTOPK_SHARDS, default 1; values < 1
+// are clamped to 1). For a fixed master seed the merged per-query result
+// table is byte-identical for every shard count.
+int64_t ShardCount();
+
+// Placement policy (CROWDTOPK_SHARD_POLICY): "rendezvous" (default,
+// highest-random-weight hashing — stable under shard add/remove) or
+// "modulo". Unknown values warn once on stderr and fall back, same
+// contract as the numeric knobs.
+std::string ShardPolicy();
+
+// CROWDTOPK_SHARD_CACHE_SYNC=1 turns on the barrier-aligned cross-shard
+// judgment-cache exchange (only meaningful with CROWDTOPK_CACHE=1).
+bool ShardCacheSync();
+
+// Bounded failover: how many times one query may be re-dispatched to a
+// surviving shard after its shard died (CROWDTOPK_SHARD_REDISPATCH,
+// default 2) before it fails with kResourceExhausted.
+int64_t ShardRedispatch();
+
+// Deterministic failure injection for the failover smoke/chaos paths
+// (CROWDTOPK_SHARD_FAIL, default -1 = off): the shard with this id dies
+// while executing its CROWDTOPK_SHARD_FAIL_AFTER-th batch (default 1),
+// losing the sub-batch, and stays dead for the rest of the run.
+int64_t ShardFail();
+int64_t ShardFailAfterBatches();
+
 namespace internal {
 // Total strict-parse warnings emitted so far by GetEnvInt64/GetEnvDouble.
 // Exposed so tests can assert the warn-once-per-variable contract without

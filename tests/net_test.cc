@@ -50,6 +50,7 @@ std::vector<NetMessage> SampleMessages() {
   m.submit.algo = "spr";
   m.submit.alpha = 0.05;
   m.submit.budget = 500;
+  m.submit.seed_stream = 77;  // v2: router-stamped global id
   messages.push_back(m);
 
   m = NetMessage();
@@ -79,6 +80,7 @@ std::vector<NetMessage> SampleMessages() {
   m.result.rounds = 17;
   m.result.latency_seconds = 321.5;
   m.result.queue_wait_seconds = 2.25;
+  m.result.shard_id = 3;  // v2: executing shard
   messages.push_back(m);
 
   m = NetMessage();
@@ -115,6 +117,8 @@ std::vector<NetMessage> SampleMessages() {
   m.stats_reply.queries_rejected = 2;
   m.stats_reply.queries_cancelled = 1;
   m.stats_reply.batches = 5;
+  m.stats_reply.client_retries = 4;  // v2: upstream router traffic
+  m.stats_reply.client_redials = 2;
   messages.push_back(m);
 
   m = NetMessage();
@@ -138,6 +142,7 @@ void ExpectSameMessage(const NetMessage& a, const NetMessage& b) {
       EXPECT_EQ(a.submit.algo, b.submit.algo);
       EXPECT_DOUBLE_EQ(a.submit.alpha, b.submit.alpha);
       EXPECT_EQ(a.submit.budget, b.submit.budget);
+      EXPECT_EQ(a.submit.seed_stream, b.submit.seed_stream);
       break;
     case MessageType::kResult:
       EXPECT_EQ(a.result.query_id, b.result.query_id);
@@ -147,12 +152,15 @@ void ExpectSameMessage(const NetMessage& a, const NetMessage& b) {
       EXPECT_DOUBLE_EQ(a.result.latency_seconds, b.result.latency_seconds);
       EXPECT_DOUBLE_EQ(a.result.queue_wait_seconds,
                        b.result.queue_wait_seconds);
+      EXPECT_EQ(a.result.shard_id, b.result.shard_id);
       break;
     case MessageType::kStatsReply:
       EXPECT_EQ(a.stats_reply.draining, b.stats_reply.draining);
       EXPECT_EQ(a.stats_reply.queries_submitted,
                 b.stats_reply.queries_submitted);
       EXPECT_EQ(a.stats_reply.batches, b.stats_reply.batches);
+      EXPECT_EQ(a.stats_reply.client_retries, b.stats_reply.client_retries);
+      EXPECT_EQ(a.stats_reply.client_redials, b.stats_reply.client_redials);
       break;
     case MessageType::kError:
       EXPECT_EQ(a.error.code, b.error.code);
@@ -614,6 +622,39 @@ TEST_F(NetE2ETest, VersionMismatchIsRefusedAndConnectionClosed) {
   hello.type = MessageType::kHello;
   hello.hello.version = kProtocolVersion + 7;
   conn.SendRaw(FrameMessage(hello));
+  NetMessage reply;
+  ASSERT_TRUE(conn.ReadMessage(&reply));
+  ASSERT_EQ(reply.type, MessageType::kError);
+  EXPECT_EQ(reply.error.code, ErrorCode::kVersionMismatch);
+  EXPECT_TRUE(conn.AwaitEof());
+  EXPECT_EQ(server_->Stats().version_mismatches, 1);
+}
+
+// The previous protocol generation's pinned bytes (net_frames_v1.bin,
+// frozen when kProtocolVersion moved to 2) must stay refusable: the first
+// frame is a v1 kHello, and a v2 server answers it with a version-
+// mismatch error and hangs up. This is the compatibility contract the
+// header documents — version-gated, not forward-compatible.
+TEST_F(NetE2ETest, V1GoldenHelloIsRefused) {
+  std::string v1_stream;
+  ASSERT_TRUE(util::ReadFileToString(
+                  std::string(CROWDTOPK_GOLDEN_DIR) + "/net_frames_v1.bin",
+                  &v1_stream)
+                  .ok());
+  FrameReader reader;
+  reader.Append(v1_stream);
+  std::string payload;
+  ASSERT_EQ(reader.Pop(&payload), FrameReader::Next::kFrame);
+  NetMessage v1_hello;
+  ASSERT_TRUE(DecodeMessage(payload, &v1_hello));
+  ASSERT_EQ(v1_hello.type, MessageType::kHello);
+  ASSERT_EQ(v1_hello.hello.magic, kNetMagic);
+  ASSERT_LT(v1_hello.hello.version, kProtocolVersion);
+
+  StartServer(ServerOptions());
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  conn.SendRaw(FramePayload(payload));
   NetMessage reply;
   ASSERT_TRUE(conn.ReadMessage(&reply));
   ASSERT_EQ(reply.type, MessageType::kError);

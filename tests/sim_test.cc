@@ -213,6 +213,23 @@ TEST(SimHarnessTest, TransitiveCacheHitUnderFault) {
          "was not exercised";
 }
 
+// Shard scatter + failover: the episode's trace routed over four local
+// shards must merge to the 1-shard pure-column table byte-for-byte, and
+// killing the first query's primary shard on its first sub-batch must
+// lose no query while keeping re-dispatch and re-purchase bounded. The
+// kill branch asserts internally that the injected death actually fired,
+// so this cannot pass vacuously.
+TEST(SimHarnessTest, ShardScatterAndFailoverHoldInvariants) {
+  Episode e = DeriveEpisode(1);
+  e.shards = 4;
+  e.shard_kill = true;
+  std::vector<Violation> violations;
+  CheckShardScatter(NormalizeEpisode(e), &violations);
+  for (const Violation& v : violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
+  }
+}
+
 // ----- simulated time through the network stack ----------------------------
 
 // Drain during in-flight work under an injected SimClock: the wall clock

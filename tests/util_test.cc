@@ -336,5 +336,34 @@ TEST(EnvTest, StringFallback) {
   ::unsetenv("CROWDTOPK_TEST_STR");
 }
 
+// The CROWDTOPK_SHARD_* knobs follow the same strict-parse contract as
+// the numeric ones: a typo'd policy warns once and falls back to
+// rendezvous instead of silently routing differently.
+TEST(EnvTest, ShardKnobsParseStrictly) {
+  internal::ResetEnvWarningsForTest();
+  const int64_t before = internal::EnvWarningCountForTest();
+  ::setenv("CROWDTOPK_SHARD_POLICY", "roundrobin", 1);
+  EXPECT_EQ(ShardPolicy(), "rendezvous");
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before + 1);
+  ShardPolicy();  // consulted again (e.g. per-knob logging): no spam
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before + 1);
+  ::setenv("CROWDTOPK_SHARD_POLICY", "modulo", 1);
+  EXPECT_EQ(ShardPolicy(), "modulo");
+  ::unsetenv("CROWDTOPK_SHARD_POLICY");
+  EXPECT_EQ(ShardPolicy(), "rendezvous");
+
+  ::setenv("CROWDTOPK_SHARDS", "0", 1);
+  EXPECT_EQ(ShardCount(), 1);  // clamped, not an error
+  ::setenv("CROWDTOPK_SHARDS", "four", 1);
+  EXPECT_EQ(ShardCount(), 1);
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before + 2);
+  ::unsetenv("CROWDTOPK_SHARDS");
+
+  ::setenv("CROWDTOPK_SHARD_REDISPATCH", "lots", 1);
+  EXPECT_EQ(ShardRedispatch(), 2);
+  EXPECT_EQ(internal::EnvWarningCountForTest(), before + 3);
+  ::unsetenv("CROWDTOPK_SHARD_REDISPATCH");
+}
+
 }  // namespace
 }  // namespace crowdtopk::util

@@ -24,7 +24,7 @@ failures=0
 # The documentation set the README promises must exist.
 for required in README.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md \
     docs/BENCHMARKS.md docs/PERSISTENCE.md docs/NETWORK.md \
-    docs/SIMULATION.md; do
+    docs/SIMULATION.md docs/SHARDING.md; do
   if [ ! -f "$root/$required" ]; then
     echo "MISSING: required doc $required"
     failures=$((failures + 1))

@@ -37,10 +37,11 @@ using namespace crowdtopk;
 
 constexpr char kHelp[] = R"(crowdtopk_loadgen [--help]
 
-Drives crowdtopk_server with a seeded query trace and prints a
-deterministic report (byte-identical across runs for a fixed seed and
-CROWDTOPK_LOADGEN_WORKERS=1 — latency is simulated time from the server,
-never wall clock).
+Drives crowdtopk_server (or crowdtopk_router — same protocol) with a
+seeded query trace and prints a deterministic report (byte-identical
+across runs for a fixed seed and CROWDTOPK_LOADGEN_WORKERS=1 — latency is
+simulated time from the server, never wall clock). The shard_id column is
+0 against a plain server and the executing shard behind a router.
 
 Target
   CROWDTOPK_NET_HOST        server host                (default 127.0.0.1)
@@ -212,7 +213,7 @@ int main(int argc, char** argv) {
           static_cast<long long>(workers));
   Appendf(&report,
           "q,query_id,algo,arrival_s,status,rounds,microtasks,latency_s,"
-          "queue_wait_s,precision\n");
+          "queue_wait_s,precision,shard_id\n");
 
   int64_t ok_count = 0;
   int64_t rejected = 0;
@@ -226,7 +227,7 @@ int main(int argc, char** argv) {
     const QueryRecord& r = records[q];
     if (r.transport_error) {
       ++transport_errors;
-      Appendf(&report, "%lld,%lld,%s,%.6f,transport:%s,,,,,\n",
+      Appendf(&report, "%lld,%lld,%s,%.6f,transport:%s,,,,,,\n",
               static_cast<long long>(q),
               static_cast<long long>(r.query_id),
               algos[q % algos.size()].c_str(), arrivals[q],
@@ -246,7 +247,7 @@ int main(int argc, char** argv) {
     } else {
       ++rejected;
     }
-    Appendf(&report, "%lld,%lld,%s,%.6f,%s,%lld,%lld,%.6f,%.6f,%.4f\n",
+    Appendf(&report, "%lld,%lld,%s,%.6f,%s,%lld,%lld,%.6f,%.6f,%.4f,%lld\n",
             static_cast<long long>(q), static_cast<long long>(r.query_id),
             algos[q % algos.size()].c_str(), arrivals[q],
             ok ? "ok"
@@ -255,7 +256,7 @@ int main(int argc, char** argv) {
             static_cast<long long>(res.rounds),
             static_cast<long long>(res.total_microtasks),
             res.latency_seconds, res.queue_wait_seconds,
-            res.precision_at_k);
+            res.precision_at_k, static_cast<long long>(res.shard_id));
   }
   Appendf(&report,
           "summary: ok=%lld rejected=%lld transport_errors=%lld "
